@@ -1,0 +1,191 @@
+// Experiment A3 — multi-agent fan-out (Sec. 6 future work).
+//
+// "An enhanced agent execution model supporting exactly-once executions
+// comprising more than one agent": this ablation quantifies what the
+// mechanism buys. A data-gathering job over N nodes is executed
+//
+//   sequential  one agent tours all N nodes (the Sec. 2 baseline);
+//   fan-out/k   a master spawns k children, each touring N/k nodes, and
+//               joins their mailbox results (spawn and delivery both
+//               commit transactionally, so the whole composite run keeps
+//               the exactly-once guarantee).
+//
+// Expected shape: the sequential tour grows linearly in N; fan-out
+// divides the touring latency by ~k at the cost of the spawn/join
+// overhead (two extra steps + k result deliveries), so the crossover sits
+// at small N and the speedup approaches k for large N.
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "common.h"
+
+using namespace mar;
+using agent::AgentOutcome;
+using agent::Itinerary;
+using agent::StepContext;
+using harness::TestWorld;
+
+namespace {
+
+serial::Value kv(
+    std::initializer_list<std::pair<std::string, serial::Value>> pairs) {
+  serial::Value v = serial::Value::empty_map();
+  for (auto& [k, val] : pairs) v.set(k, val);
+  return v;
+}
+
+class GatherAgent final : public agent::Agent {
+ public:
+  GatherAgent() {
+    data().declare_strong("notes", serial::Value::empty_list());
+    data().declare_weak("result", std::int64_t{0});
+  }
+  std::string type_name() const override { return "gather"; }
+  void run_step(const std::string& step, StepContext& ctx) override {
+    if (step != "gather") return;
+    auto r = ctx.invoke("dir", "lookup", kv({{"key", "info"}}));
+    if (r.is_ok()) {
+      data().weak("result") = data().weak("result").as_int() + 1;
+    }
+  }
+};
+
+class FanoutMaster final : public agent::Agent {
+ public:
+  FanoutMaster() {
+    data().declare_strong("notes", serial::Value::empty_list());
+    data().declare_weak("cfg", serial::Value::empty_map());
+    data().declare_weak("sum", std::int64_t{0});
+  }
+  std::string type_name() const override { return "fanout-master"; }
+
+  void configure(int nodes, int children) {
+    data().weak("cfg") = kv({{"nodes", std::int64_t{nodes}},
+                             {"children", std::int64_t{children}}});
+  }
+
+  void run_step(const std::string& step, StepContext& ctx) override {
+    const auto nodes = data().weak("cfg").at("nodes").as_int();
+    const auto children = data().weak("cfg").at("children").as_int();
+    if (step == "spawn") {
+      for (std::int64_t c = 0; c < children; ++c) {
+        auto child = std::make_unique<GatherAgent>();
+        Itinerary tour;
+        for (std::int64_t n = c; n < nodes; n += children) {
+          tour.step("gather", TestWorld::n(2 + static_cast<int>(n)));
+        }
+        Itinerary main;
+        main.sub(std::move(tour));
+        child->itinerary() = std::move(main);
+        ctx.spawn_child(std::move(child), ctx.node(),
+                        "part-" + std::to_string(c));
+      }
+      return;
+    }
+    if (step == "join") {
+      for (std::int64_t c = 0; c < children; ++c) {
+        auto r = ctx.join_child("part-" + std::to_string(c));
+        if (!r.is_ok()) return;
+        const auto& record = r.value().at("value");
+        if (record.at("ok").as_bool()) {
+          data().weak("sum") =
+              data().weak("sum").as_int() + record.at("result").as_int();
+        }
+      }
+    }
+  }
+};
+
+struct RunResult {
+  bool ok = false;
+  sim::TimeUs total_us = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+RunResult run(int nodes, int children) {
+  agent::PlatformConfig cfg;
+  TestWorld w(cfg, nodes + 1, 7);
+  harness::register_workload(w.platform);
+  w.platform.agent_types().register_type<GatherAgent>("gather");
+  w.platform.agent_types().register_type<FanoutMaster>("fanout-master");
+  for (int n = 2; n <= nodes + 1; ++n) {
+    w.publish(n, "info", serial::Value("x"));
+  }
+
+  AgentId id;
+  if (children == 0) {
+    // Sequential baseline: one agent tours every node itself.
+    auto agent = std::make_unique<GatherAgent>();
+    Itinerary tour;
+    for (int n = 0; n < nodes; ++n) tour.step("gather", TestWorld::n(2 + n));
+    Itinerary main;
+    main.sub(std::move(tour));
+    agent->itinerary() = std::move(main);
+    auto r = w.platform.launch(std::move(agent));
+    MAR_CHECK(r.is_ok());
+    id = r.value();
+  } else {
+    auto master = std::make_unique<FanoutMaster>();
+    master->configure(nodes, children);
+    Itinerary plan;
+    plan.step("spawn", TestWorld::n(1)).step("join", TestWorld::n(1));
+    Itinerary main;
+    main.sub(std::move(plan));
+    master->itinerary() = std::move(main);
+    auto r = w.platform.launch(std::move(master));
+    MAR_CHECK(r.is_ok());
+    id = r.value();
+  }
+
+  RunResult result;
+  if (!w.platform.run_until_finished(id)) return result;
+  const auto& out = w.platform.outcome(id);
+  result.ok = out.state == AgentOutcome::State::done;
+  if (children > 0 && result.ok) {
+    auto fin = w.platform.decode(out.final_agent);
+    result.ok = fin->data().weak("sum").as_int() == nodes;
+  }
+  result.total_us = out.finished_at;
+  result.wire_bytes = w.net.stats().bytes_sent;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A3: multi-agent fan-out vs sequential tour (Sec. 6) ==="
+            << "\n(gather one directory entry per node; fan-out spawns k "
+               "children and joins their mailbox results)\n\n";
+  std::cout << "nodes  sequential[ms]  fanout/2[ms]  fanout/4[ms]  "
+               "speedup/4  wire/4[KB]\n";
+  std::cout << "--------------------------------------------------------"
+               "-----------\n";
+
+  bool shape_ok = true;
+  double prev_speedup = 0;
+  for (const int nodes : {4, 8, 16, 32}) {
+    const auto seq = run(nodes, 0);
+    const auto f2 = run(nodes, 2);
+    const auto f4 = run(nodes, 4);
+    shape_ok = shape_ok && seq.ok && f2.ok && f4.ok;
+    const double speedup =
+        static_cast<double>(seq.total_us) / static_cast<double>(f4.total_us);
+    std::cout << std::setw(5) << nodes << "  " << std::setw(13) << std::fixed
+              << std::setprecision(2) << seq.total_us / 1000.0 << "  "
+              << std::setw(12) << f2.total_us / 1000.0 << "  "
+              << std::setw(12) << f4.total_us / 1000.0 << "  "
+              << std::setw(9) << std::setprecision(2) << speedup << "  "
+              << std::setw(9) << f4.wire_bytes / 1024 << "\n";
+    // The fan-out advantage must grow with the tour length.
+    shape_ok = shape_ok && speedup > prev_speedup;
+    prev_speedup = speedup;
+    if (nodes >= 16) {
+      shape_ok = shape_ok && f4.total_us < seq.total_us &&
+                 f4.total_us < f2.total_us;
+    }
+  }
+
+  std::cout << (shape_ok ? "\nshape check: OK\n" : "\nshape check: FAILED\n");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Experiment E1 — cost of carrying the rollback log (Sec. 4.2).
+//
+// "The amount of data which has to be transferred to migrate the agent
+// increases" because the log is attached to the agent. This bench sweeps
+// the number of logged steps and the per-entry parameter size, reporting
+// the serialized agent size, the log share of it, and the resulting
+// per-hop migration time on two link speeds.
+//
+// Expected shape: agent size grows linearly with logged steps × entry
+// size; migration time follows size/bandwidth once the log dominates the
+// fixed agent state.
+#include <iomanip>
+#include <iostream>
+
+#include "common.h"
+
+using namespace mar;
+
+namespace {
+
+struct Row {
+  int steps;
+  std::int64_t param_bytes;
+  std::size_t agent_bytes;
+  std::size_t log_bytes;
+  sim::TimeUs hop_10mbit;
+  sim::TimeUs hop_1mbit;
+};
+
+Row measure(int steps, std::int64_t param_bytes) {
+  agent::PlatformConfig config;
+  config.discard_log_on_top_level = false;  // the point: the log stays
+  harness::TestWorld w(config, steps + 1, /*seed=*/3);
+  harness::register_workload(w.platform);
+
+  auto agent = std::make_unique<harness::WorkloadAgent>();
+  agent::Itinerary sub;
+  for (int i = 1; i <= steps; ++i) {
+    sub.step("touch_split", harness::TestWorld::n(i));
+  }
+  sub.step("noop", harness::TestWorld::n(steps + 1));
+  agent::Itinerary main_itinerary;
+  main_itinerary.sub(std::move(sub));
+  agent->itinerary() = std::move(main_itinerary);
+  agent->set_config("param_bytes", param_bytes);
+
+  auto id = w.platform.launch(std::move(agent));
+  w.platform.run_until_finished(id.value());
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+
+  Row row;
+  row.steps = steps;
+  row.param_bytes = param_bytes;
+  row.agent_bytes = agent::encode_agent(*fin).size();
+  row.log_bytes = fin->log().byte_size();
+  net::LinkParams lan{500, 1.25};     // 10 Mbit/s
+  net::LinkParams wan{5'000, 0.125};  // 1 Mbit/s
+  row.hop_10mbit =
+      lan.latency_us + static_cast<sim::TimeUs>(
+                           static_cast<double>(row.agent_bytes) /
+                           lan.bandwidth_bytes_per_us);
+  row.hop_1mbit =
+      wan.latency_us + static_cast<sim::TimeUs>(
+                           static_cast<double>(row.agent_bytes) /
+                           wan.bandwidth_bytes_per_us);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E1: migration overhead of the attached rollback log ===\n"
+            << "(agent size and per-hop transfer time vs. logged steps)\n\n";
+  std::cout << "steps  param_B  agent_B  log_B  log%   hop@10Mbit[us]  "
+               "hop@1Mbit[us]\n";
+  std::cout << "-----------------------------------------------------------"
+               "--------\n";
+  bool monotone = true;
+  std::size_t prev = 0;
+  for (const std::int64_t param : {16, 128, 1024}) {
+    for (const int steps : {1, 2, 4, 8, 16, 32}) {
+      const auto r = measure(steps, param);
+      std::cout << std::setw(5) << r.steps << "  " << std::setw(7)
+                << r.param_bytes << "  " << std::setw(7) << r.agent_bytes
+                << "  " << std::setw(5) << r.log_bytes << "  " << std::setw(4)
+                << (100 * r.log_bytes / r.agent_bytes) << "%  "
+                << std::setw(14) << r.hop_10mbit << "  " << std::setw(13)
+                << r.hop_1mbit << "\n";
+      if (r.agent_bytes < prev) monotone = false;
+      prev = r.agent_bytes;
+    }
+    prev = 0;
+    std::cout << "\n";
+  }
+  std::cout << "check: agent size grows monotonically with logged steps -> "
+            << (monotone ? "OK" : "MISMATCH") << "\n";
+  return monotone ? 0 : 1;
+}

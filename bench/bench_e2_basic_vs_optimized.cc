@@ -1,0 +1,73 @@
+// Experiment E2 — basic (Fig. 4) vs optimized (Fig. 5) rollback.
+//
+// The optimization's claim (Sec. 4.4.1): when steps have no mixed
+// compensation entries, the agent need not travel; only the resource
+// compensation entries cross the wire, reducing network load and rollback
+// latency. This bench rolls back an 8-step execution while sweeping the
+// fraction of steps that logged a mixed entry, for both algorithms, and
+// reports a full-restart baseline (give up the partial rollback and re-run
+// the whole sub-itinerary) for scale.
+//
+// Expected shape: at mixed=0 the optimized algorithm does 0 agent
+// transfers and wins by a wide margin (it ships operation entries, not the
+// agent); the gap narrows as the mixed fraction grows and closes at
+// mixed=1, where both algorithms must walk the agent back hop by hop.
+#include <iomanip>
+#include <iostream>
+
+#include "common.h"
+
+using namespace mar;
+
+int main() {
+  std::cout << "=== E2: rollback cost, basic vs optimized ===\n"
+            << "(8 steps on 8 nodes, rollback of the whole sub-itinerary; "
+               "64-byte undo params)\n\n";
+  std::cout << "mixed%   strategy   rollback[ms]  wire[KB]  agent-transfers  "
+               "forward-rerun[ms]\n";
+  std::cout << "---------------------------------------------------------"
+               "----------------\n";
+
+  bool shape_ok = true;
+  for (const double mixed : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    bench::Metrics results[2];
+    int i = 0;
+    for (const auto strategy : {agent::RollbackStrategy::basic,
+                                agent::RollbackStrategy::optimized}) {
+      bench::RollbackScenario s;
+      s.steps = 8;
+      s.mixed_fraction = mixed;
+      s.param_bytes = 64;
+      s.config.strategy = strategy;
+      const auto m = bench::run_rollback_scenario(s);
+      results[i++] = m;
+      std::cout << std::setw(5) << static_cast<int>(mixed * 100) << "%   "
+                << (strategy == agent::RollbackStrategy::basic ? "basic    "
+                                                               : "optimized")
+                << "  " << std::setw(10) << std::fixed
+                << std::setprecision(2) << m.rollback_us / 1000.0 << "  "
+                << std::setw(8) << m.rollback_wire_bytes / 1024 << "  "
+                << std::setw(15) << m.rollback_transfers << "  "
+                << std::setw(15) << m.forward_us / 1000.0 << "\n";
+      if (!m.ok) shape_ok = false;
+    }
+    // Shape checks per the paper's claims.
+    if (mixed == 0.0) {
+      shape_ok = shape_ok && results[1].rollback_transfers == 0 &&
+                 results[0].rollback_transfers >= 7 &&
+                 results[1].rollback_wire_bytes <
+                     results[0].rollback_wire_bytes &&
+                 results[1].rollback_us < results[0].rollback_us;
+    }
+    if (mixed == 1.0) {
+      // Both must walk the agent back: costs converge.
+      shape_ok = shape_ok &&
+                 results[1].rollback_transfers ==
+                     results[0].rollback_transfers;
+    }
+  }
+  std::cout << "\ncheck: optimized wins at mixed=0 (0 transfers, less wire, "
+               "lower latency),\n       converges with basic at mixed=1 -> "
+            << (shape_ok ? "OK" : "MISMATCH") << "\n";
+  return shape_ok ? 0 : 1;
+}

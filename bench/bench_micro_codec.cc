@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark): the serialization substrate.
+//
+// Agent capture/re-instantiation and Value diffing sit on the critical
+// path of every step commit and savepoint; these measure their raw
+// wall-clock cost on this machine (the simulation itself uses virtual
+// time, so this is the one place real time matters).
+#include <benchmark/benchmark.h>
+
+#include "harness/agents.h"
+#include "serial/serializable.h"
+#include "serial/value.h"
+
+namespace {
+
+using namespace mar;
+
+harness::WorkloadAgent make_agent(std::int64_t blobs, std::int64_t blob_size) {
+  harness::WorkloadAgent agent;
+  for (std::int64_t i = 0; i < blobs; ++i) {
+    agent.data().strong("results").push_back(serial::Value(serial::Bytes(
+        static_cast<std::size_t>(blob_size), std::uint8_t{0x7F})));
+  }
+  return agent;
+}
+
+void BM_EncodeAgent(benchmark::State& state) {
+  const auto agent = make_agent(state.range(0), 256);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = agent::encode_agent(agent);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_EncodeAgent)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_DecodeAgent(benchmark::State& state) {
+  const auto agent = make_agent(state.range(0), 256);
+  const auto bytes = agent::encode_agent(agent);
+  agent::AgentTypeRegistry registry;
+  registry.register_type<harness::WorkloadAgent>("workload");
+  for (auto _ : state) {
+    auto decoded = agent::decode_agent(registry, bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_DecodeAgent)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ValueDiffSparse(benchmark::State& state) {
+  serial::Value a = serial::Value::empty_map();
+  for (int i = 0; i < state.range(0); ++i) {
+    a.set("k" + std::to_string(i), std::string(64, 'x'));
+  }
+  serial::Value b = a;
+  b.set("k0", std::string(64, 'y'));
+  for (auto _ : state) {
+    auto patch = serial::diff(a, b);
+    benchmark::DoNotOptimize(patch);
+  }
+}
+BENCHMARK(BM_ValueDiffSparse)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PatchApply(benchmark::State& state) {
+  serial::Value a = serial::Value::empty_map();
+  for (int i = 0; i < state.range(0); ++i) {
+    a.set("k" + std::to_string(i), std::string(64, 'x'));
+  }
+  serial::Value b = a;
+  b.set("k1", std::string(64, 'z'));
+  const auto patch = serial::diff(a, b);
+  for (auto _ : state) {
+    auto restored = serial::apply(patch, a);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_PatchApply)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

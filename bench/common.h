@@ -1,0 +1,58 @@
+// Shared benchmark scaffolding: standard rollback scenarios and metric
+// extraction used by the experiment binaries (see DESIGN.md Sec. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agent/platform.h"
+#include "harness/agents.h"
+#include "harness/world.h"
+
+namespace mar::bench {
+
+/// One parameterized rollback run: an agent executes `steps` steps, one
+/// per node, each logging compensating operations; the final step requests
+/// a rollback of the whole sub-itinerary; the agent then re-runs and
+/// completes.
+struct RollbackScenario {
+  int steps = 6;
+  /// Fraction of steps logging a mixed compensation entry (the rest log a
+  /// resource + an agent compensation entry).
+  double mixed_fraction = 0.0;
+  /// Size of the undo-parameter blob each step logs.
+  std::int64_t param_bytes = 32;
+  /// Bytes appended to the strongly reversible state per step (0 = none).
+  std::int64_t strong_bytes = 0;
+  agent::PlatformConfig config;
+  std::uint64_t seed = 7;
+
+  /// Transient-fault injection (experiment E6).
+  bool inject_faults = false;
+  double mean_time_between_crashes_us = 2e6;
+  double mean_downtime_us = 200'000;
+  sim::TimeUs fault_horizon_us = 120'000'000;
+};
+
+struct Metrics {
+  bool ok = false;
+  sim::TimeUs total_us = 0;          ///< launch to completion
+  sim::TimeUs forward_us = 0;        ///< launch to rollback initiation
+  sim::TimeUs rollback_us = 0;       ///< rollback initiation to restore
+  std::uint64_t rollback_wire_bytes = 0;
+  std::uint64_t total_wire_bytes = 0;
+  std::uint64_t rollback_transfers = 0;
+  std::uint64_t mixed_ships = 0;  ///< adaptive-strategy shipments (A2)
+  std::uint64_t comp_commits = 0;
+  std::uint64_t stable_bytes = 0;    ///< stable-storage writes, all nodes
+  std::uint64_t crashes = 0;
+  std::size_t final_log_bytes = 0;
+};
+
+/// Execute the scenario; the run is deterministic in `scenario.seed`.
+Metrics run_rollback_scenario(const RollbackScenario& scenario);
+
+/// Render a value with thousands separators (table output).
+std::string fmt(std::uint64_t v);
+
+}  // namespace mar::bench

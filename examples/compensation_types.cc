@@ -1,0 +1,177 @@
+// The compensation taxonomy of Sec. 3, executable.
+//
+// The paper classifies compensating operations by how much of the
+// original state they can recover:
+//
+//   sound histories      the compensation commutes with every dependent
+//                        transaction (bank deposits/withdrawals on an
+//                        overdraftable account) — dep(T)'s outcome is
+//                        untouched by T + CT;
+//   broken soundness     one dependent READS the balance to decide — a
+//                        single "if I have enough money" breaks
+//                        commutation, the paper's own example;
+//   state-equivalent     digital cash refunds mint fresh serial numbers:
+//                        equal value, different representation (the
+//                        reason weakly reversible objects exist, §4.1);
+//   failing              compensating a deposit from an account that may
+//                        not be overdrawn fails if the money is gone;
+//   impossible           deleting bulk data without logging it cannot be
+//                        compensated at all — the step is poisoned
+//                        (mark_not_compensatable, §3.2).
+//
+// Each class is demonstrated with the Sec. 3.1 formalism (histories over
+// the augmented state, equality sampled over concrete states) and — for
+// the last three — with the real resources of the platform.
+#include <iostream>
+
+#include "compensation/history.h"
+#include "resource/bank.h"
+#include "resource/mint.h"
+#include "serial/value.h"
+
+using namespace mar;
+using compensation::History;
+using compensation::Operation;
+using compensation::State;
+
+namespace {
+
+State account_state(std::int64_t balance) {
+  State s = serial::Value::empty_map();
+  s.set("balance", balance);
+  return s;
+}
+
+Operation deposit(std::int64_t x) {
+  return {"deposit(" + std::to_string(x) + ")", [x](const State& s) {
+            State out = s;
+            out.set("balance", s.at("balance").as_int() + x);
+            return out;
+          }};
+}
+
+Operation withdraw(std::int64_t x) {
+  return {"withdraw(" + std::to_string(x) + ")", [x](const State& s) {
+            State out = s;
+            out.set("balance", s.at("balance").as_int() - x);
+            return out;
+          }};
+}
+
+/// The paper's soundness breaker: a dependent that READS the balance to
+/// decide ("if I have enough money, then...").
+Operation conditional_spend(std::int64_t need) {
+  return {"spend_if_rich(" + std::to_string(need) + ")",
+          [need](const State& s) {
+            State out = s;
+            if (s.at("balance").as_int() >= need) {
+              out.set("balance", s.at("balance").as_int() - need);
+            }
+            return out;
+          }};
+}
+
+bool demo_sound_history() {
+  // T deposits 100; CT withdraws 100; dep(T) deposits 30 and withdraws 50
+  // (pure, unconditional transfers on an overdraftable account).
+  const History t{deposit(100)};
+  const History ct{withdraw(100)};
+  const History dep{deposit(30), withdraw(50)};
+  const std::vector<State> samples = {account_state(0), account_state(75),
+                                      account_state(-20)};
+
+  const bool commutes =
+      compensation::compensation_commutes_with_dependents(ct, dep, samples);
+  const bool is_sound = compensation::sound(t.then(dep).then(ct), dep,
+                                            account_state(40));
+  std::cout << "1. sound:            CT commutes with dep(T): "
+            << (commutes ? "yes" : "no")
+            << "; history sound: " << (is_sound ? "yes" : "no") << "\n";
+  return commutes && is_sound;
+}
+
+bool demo_broken_soundness() {
+  const History t{deposit(100)};
+  const History ct{withdraw(100)};
+  const History dep{conditional_spend(120)};  // reads the balance
+  // 150 exposes the broken commutation: after withdraw(100) the spend no
+  // longer fires; before it, it does.
+  const std::vector<State> samples = {account_state(0), account_state(50),
+                                      account_state(150)};
+
+  const bool commutes =
+      compensation::compensation_commutes_with_dependents(ct, dep, samples);
+  // From balance 50: with T+CT the spend sees 150 and fires; without, it
+  // sees 50 and doesn't — dep(T)'s outcome differs, soundness is broken.
+  const bool is_sound = compensation::sound(t.then(dep).then(ct), dep,
+                                            account_state(50));
+  std::cout << "2. broken soundness: CT commutes with dep(T): "
+            << (commutes ? "yes" : "no")
+            << "; history sound: " << (is_sound ? "yes" : "no") << "\n";
+  return !commutes && !is_sound;
+}
+
+bool demo_state_equivalent() {
+  // Digital cash (Sec. 3.2): a refund returns the same VALUE with fresh
+  // serial numbers — an equivalent, not identical, state.
+  resource::Mint mint;
+  auto state = mint.initial_state();
+  serial::Value issue = serial::Value::empty_map();
+  issue.set("currency", std::string("USD"));
+  issue.set("value", std::int64_t{20});
+  issue.set("count", std::int64_t{2});
+  auto coins1 = mint.invoke("issue", issue, state);
+  auto coins2 = mint.invoke("issue", issue, state);
+  const bool same_value =
+      coins1.value().at("coins").as_list().size() ==
+      coins2.value().at("coins").as_list().size();
+  const bool different_serials =
+      !(coins1.value().at("coins") == coins2.value().at("coins"));
+  std::cout << "3. state-equivalent: refunds carry equal value: "
+            << (same_value ? "yes" : "no") << "; identical serials: "
+            << (different_serials ? "no" : "yes") << "\n";
+  return same_value && different_serials;
+}
+
+bool demo_failing_compensation() {
+  // Compensating a deposit withdraws it back — impossible once another
+  // transaction drained the non-overdraftable account (Sec. 3.2's 20 USD
+  // example).
+  resource::Bank bank;
+  auto state = bank.initial_state();
+  serial::Value acc = serial::Value::empty_map();
+  acc.set("balance", std::int64_t{0});
+  acc.set("overdraft", false);
+  state.as_map().at("accounts").set("acct", std::move(acc));
+
+  auto mk = [](std::int64_t amount) {
+    serial::Value p = serial::Value::empty_map();
+    p.set("account", std::string("acct"));
+    p.set("amount", amount);
+    return p;
+  };
+  (void)bank.invoke("deposit", mk(20), state);   // T
+  (void)bank.invoke("withdraw", mk(20), state);  // another tx drains it
+  auto ct = bank.invoke("withdraw", mk(20), state);  // CT fails
+  std::cout << "4. failing:          compensating withdraw: "
+            << ct.status().to_string() << "\n";
+  return ct.code() == Errc::rejected;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sec. 3: types of compensation, demonstrated ===\n\n";
+  bool ok = true;
+  ok = demo_sound_history() && ok;
+  ok = demo_broken_soundness() && ok;
+  ok = demo_state_equivalent() && ok;
+  ok = demo_failing_compensation() && ok;
+  std::cout << "5. impossible:       bulk deletion without logging — see "
+               "mark_not_compensatable(); a rollback across such a step is "
+               "rejected with not_compensatable (tested in "
+               "rollback_e2e_test).\n";
+  std::cout << "\n" << (ok ? "all classes behave as Sec. 3 describes\n"
+                           : "MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+#include "agent/agent.h"
+
+#include "util/check.h"
+
+namespace mar::agent {
+
+void SavepointStackEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u32(id.value());
+  enc.write_u8(static_cast<std::uint8_t>(origin));
+  enc.write_u32(depth);
+}
+
+void SavepointStackEntry::deserialize(serial::Decoder& dec) {
+  id = SavepointId(dec.read_u32());
+  origin = static_cast<rollback::SavepointOrigin>(dec.read_u8());
+  depth = dec.read_u32();
+}
+
+SavepointId Agent::sub_savepoint(std::uint32_t levels_up) const {
+  std::uint32_t seen = 0;
+  for (auto it = sp_stack_.rbegin(); it != sp_stack_.rend(); ++it) {
+    if (it->origin != rollback::SavepointOrigin::sub_itinerary) continue;
+    if (seen == levels_up) return it->id;
+    ++seen;
+  }
+  return SavepointId::invalid();
+}
+
+void Agent::serialize(serial::Encoder& enc) const {
+  enc.write_u64(id_.value());
+  enc.write_u8(static_cast<std::uint8_t>(run_state_));
+  data_.serialize(enc);
+  itinerary_.serialize(enc);
+  enc.write_varint(position_.size());
+  for (const auto i : position_) enc.write_u32(i);
+  enc.write_varint(sp_stack_.size());
+  for (const auto& e : sp_stack_) e.serialize(enc);
+  enc.write_u32(next_sp_);
+  enc.write_u32(rollbacks_completed_);
+  enc.write_u64(parent_.value());
+  enc.write_u32(result_node_.value());
+  enc.write_string(result_key_);
+  enc.write_bool(retain_full_log_);
+  enc.write_bool(force_full_sp_);
+  last_sp_strong_.serialize(enc);
+  log_.serialize(enc);
+}
+
+void Agent::deserialize(serial::Decoder& dec) {
+  id_ = AgentId(dec.read_u64());
+  run_state_ = static_cast<RunState>(dec.read_u8());
+  data_.deserialize(dec);
+  itinerary_.deserialize(dec);
+  position_.resize(dec.read_count());
+  for (auto& i : position_) i = dec.read_u32();
+  sp_stack_.resize(dec.read_count());
+  for (auto& e : sp_stack_) e.deserialize(dec);
+  next_sp_ = dec.read_u32();
+  rollbacks_completed_ = dec.read_u32();
+  parent_ = AgentId(dec.read_u64());
+  result_node_ = NodeId(dec.read_u32());
+  result_key_ = dec.read_string();
+  retain_full_log_ = dec.read_bool();
+  force_full_sp_ = dec.read_bool();
+  last_sp_strong_.deserialize(dec);
+  log_.deserialize(dec);
+}
+
+serial::Bytes encode_agent(const Agent& agent) {
+  serial::Encoder enc;
+  enc.write_string(agent.type_name());
+  agent.serialize(enc);
+  return std::move(enc).take();
+}
+
+std::unique_ptr<Agent> decode_agent(const AgentTypeRegistry& registry,
+                                    std::span<const std::uint8_t> bytes) {
+  serial::Decoder dec(bytes);
+  const auto type = dec.read_string();
+  // Wire input is untrusted: an unknown type is a malformed buffer, not
+  // a programming error.
+  if (!registry.contains(type)) {
+    throw serial::DecodeError("unknown agent type: " + type);
+  }
+  auto agent = registry.create(type);
+  agent->deserialize(dec);
+  dec.expect_end();
+  return agent;
+}
+
+}  // namespace mar::agent

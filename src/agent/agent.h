@@ -1,0 +1,160 @@
+// The mobile agent base class.
+//
+// Agents are autonomous objects whose execution proceeds in *steps*, one
+// per visited node, dispatched by name through run_step() (the paper's
+// "single method of the agent object" per step). ALL application state
+// must live in the DataSpace — the platform captures an agent for
+// migration by serializing exactly: identity, data space, itinerary,
+// position, savepoint bookkeeping and the attached rollback log (Sec. 4.2:
+// "the log is attached to the agent and hence migrates with the agent").
+//
+// Subclasses therefore keep no mutable C++ members of their own; they
+// declare strong/weak slots in their constructor and register their
+// compensating operations in a CompensationRegistry at world setup.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agent/data_space.h"
+#include "agent/itinerary.h"
+#include "rollback/log.h"
+#include "serial/serializable.h"
+#include "util/ids.h"
+
+namespace mar::agent {
+
+class StepContext;
+
+/// Entry of the agent's savepoint stack: the savepoints that can currently
+/// be targeted by a rollback, innermost last.
+struct SavepointStackEntry {
+  SavepointId id;
+  rollback::SavepointOrigin origin = rollback::SavepointOrigin::adhoc;
+  /// Nesting depth of the owning sub-itinerary (sub_itinerary origin).
+  std::uint32_t depth = 0;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+};
+
+class Agent : public serial::Serializable {
+ public:
+  enum class RunState : std::uint8_t { fresh = 0, running = 1, done = 2 };
+
+  ~Agent() override = default;
+
+  /// Registered type name used to re-instantiate the agent after transfer.
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// Execute the step named `step` (from the itinerary's step entry).
+  virtual void run_step(const std::string& step, StepContext& ctx) = 0;
+
+  // --- application-visible state -------------------------------------------
+  [[nodiscard]] DataSpace& data() { return data_; }
+  [[nodiscard]] const DataSpace& data() const { return data_; }
+  [[nodiscard]] Itinerary& itinerary() { return itinerary_; }
+  [[nodiscard]] const Itinerary& itinerary() const { return itinerary_; }
+
+  // --- platform state --------------------------------------------------------
+  [[nodiscard]] AgentId id() const { return id_; }
+  void set_id(AgentId id) { id_ = id; }
+  [[nodiscard]] RunState run_state() const { return run_state_; }
+  void set_run_state(RunState s) { run_state_ = s; }
+  [[nodiscard]] const Position& position() const { return position_; }
+  void set_position(Position p) { position_ = std::move(p); }
+
+  [[nodiscard]] rollback::RollbackLog& log() { return log_; }
+  [[nodiscard]] const rollback::RollbackLog& log() const { return log_; }
+
+  [[nodiscard]] std::vector<SavepointStackEntry>& savepoint_stack() {
+    return sp_stack_;
+  }
+  [[nodiscard]] const std::vector<SavepointStackEntry>& savepoint_stack()
+      const {
+    return sp_stack_;
+  }
+
+  /// Allocate the next savepoint id (monotone within the agent).
+  [[nodiscard]] SavepointId allocate_savepoint_id() {
+    return SavepointId(next_sp_++);
+  }
+
+  /// Number of partial rollbacks this agent has completed. Maintained by
+  /// the platform inside the transaction that finishes a rollback, so it
+  /// is durable — and it is deliberately NOT rolled back itself: Sec. 3.2
+  /// requires the application to "deal with the changed situation" after
+  /// compensation, which it can only do if it can observe that a rollback
+  /// happened. Without this signal an agent whose step logic
+  /// deterministically re-requests the same rollback would livelock.
+  [[nodiscard]] std::uint32_t rollbacks_completed() const {
+    return rollbacks_completed_;
+  }
+  void note_rollback_completed() { ++rollbacks_completed_; }
+
+  // --- multi-agent executions (the paper's Sec. 6 future work) -------------
+  /// Spawning agent's id; invalid for top-level agents.
+  [[nodiscard]] AgentId parent() const { return parent_; }
+  void set_parent(AgentId parent) { parent_ = parent; }
+  /// Where (node / mailbox key) the platform delivers this agent's result
+  /// when it terminates. Empty key = no delivery.
+  [[nodiscard]] NodeId result_node() const { return result_node_; }
+  [[nodiscard]] const std::string& result_key() const { return result_key_; }
+  void set_result_target(NodeId node, std::string key) {
+    result_node_ = node;
+    result_key_ = std::move(key);
+  }
+  /// Retain the complete rollback log: suppress the Sec. 4.4.2 top-level
+  /// discard and keep the launch savepoint, so a COMPLETE rollback stays
+  /// possible for the agent's whole life. Set automatically for spawned
+  /// children — the compensating operation of their spawn must be able to
+  /// roll them back even after they finish.
+  [[nodiscard]] bool retain_full_log() const { return retain_full_log_; }
+  void set_retain_full_log(bool retain) { retain_full_log_ = retain; }
+
+  /// Innermost active sub-itinerary savepoint, `levels_up` levels out
+  /// (0 = current sub-itinerary). Invalid id if there is no such level.
+  [[nodiscard]] SavepointId sub_savepoint(std::uint32_t levels_up = 0) const;
+
+  /// Transition-logging bookkeeping: strong-object state at the last
+  /// data-carrying savepoint, and whether the next savepoint must be a
+  /// full image (after log discard or chain-breaking GC).
+  [[nodiscard]] const Value& last_savepoint_strong() const {
+    return last_sp_strong_;
+  }
+  void set_last_savepoint_strong(Value v) { last_sp_strong_ = std::move(v); }
+  [[nodiscard]] bool force_full_savepoint() const { return force_full_sp_; }
+  void set_force_full_savepoint(bool f) { force_full_sp_ = f; }
+
+  // --- capture / re-instantiation -------------------------------------------
+  void serialize(serial::Encoder& enc) const final;
+  void deserialize(serial::Decoder& dec) final;
+
+ private:
+  AgentId id_;
+  RunState run_state_ = RunState::fresh;
+  DataSpace data_;
+  Itinerary itinerary_;
+  Position position_;
+  std::vector<SavepointStackEntry> sp_stack_;
+  std::uint32_t next_sp_ = 1;
+  std::uint32_t rollbacks_completed_ = 0;
+  AgentId parent_;
+  NodeId result_node_;
+  std::string result_key_;
+  bool retain_full_log_ = false;
+  bool force_full_sp_ = false;
+  Value last_sp_strong_;
+  rollback::RollbackLog log_;
+};
+
+/// Registry of agent types shared by all nodes (code availability).
+using AgentTypeRegistry = serial::TypeRegistry<Agent>;
+
+/// Capture an agent: type name + full state.
+[[nodiscard]] serial::Bytes encode_agent(const Agent& agent);
+/// Re-instantiate an agent from captured bytes via the registry.
+[[nodiscard]] std::unique_ptr<Agent> decode_agent(
+    const AgentTypeRegistry& registry, std::span<const std::uint8_t> bytes);
+
+}  // namespace mar::agent

@@ -1,0 +1,65 @@
+#include "agent/data_space.h"
+
+#include "util/check.h"
+
+namespace mar::agent {
+
+void DataSpace::declare_strong(std::string_view name, Value initial) {
+  MAR_CHECK_MSG(!weak_.has(name),
+                "slot already declared weak: " << name);
+  if (!strong_.has(name)) strong_.set(name, std::move(initial));
+}
+
+void DataSpace::declare_weak(std::string_view name, Value initial) {
+  MAR_CHECK_MSG(!strong_.has(name),
+                "slot already declared strong: " << name);
+  if (!weak_.has(name)) weak_.set(name, std::move(initial));
+}
+
+bool DataSpace::has_strong(std::string_view name) const {
+  return strong_.has(name);
+}
+
+bool DataSpace::has_weak(std::string_view name) const {
+  return weak_.has(name);
+}
+
+Value& DataSpace::strong(std::string_view name) {
+  MAR_CHECK_MSG(mode_ != Mode::compensating,
+                "strongly reversible objects must not be accessed during "
+                "compensation (slot '"
+                    << name << "')");
+  MAR_CHECK_MSG(strong_.has(name), "unknown strong slot: " << name);
+  return strong_.as_map().find(std::string(name))->second;
+}
+
+const Value& DataSpace::strong(std::string_view name) const {
+  MAR_CHECK_MSG(mode_ != Mode::compensating,
+                "strongly reversible objects must not be accessed during "
+                "compensation (slot '"
+                    << name << "')");
+  return strong_.at(name);
+}
+
+Value& DataSpace::weak(std::string_view name) {
+  MAR_CHECK_MSG(weak_.has(name), "unknown weak slot: " << name);
+  return weak_.as_map().find(std::string(name))->second;
+}
+
+const Value& DataSpace::weak(std::string_view name) const {
+  return weak_.at(name);
+}
+
+void DataSpace::restore_strong(Value image) { strong_ = std::move(image); }
+
+void DataSpace::serialize(serial::Encoder& enc) const {
+  strong_.serialize(enc);
+  weak_.serialize(enc);
+}
+
+void DataSpace::deserialize(serial::Decoder& dec) {
+  strong_.deserialize(dec);
+  weak_.deserialize(dec);
+}
+
+}  // namespace mar::agent

@@ -1,0 +1,66 @@
+// The agent's private data space, split into strongly and weakly
+// reversible objects (paper Sec. 4.1).
+//
+// Strongly reversible slots are restored by the system from a physical
+// before-image stored in savepoint entries; weakly reversible slots are
+// restored by developer-supplied compensating operations, because rollback
+// produces information that did not exist before (refunded coins with new
+// serials, credit notes, fees).
+//
+// Access control implements Sec. 4.3's rule that "accessing the strongly
+// reversible objects during the execution of the compensating operations
+// is not allowed": while the data space is in compensating mode, touching
+// a strong slot raises LogicError. (Compensating operations additionally
+// never get a reference to the strong map — this is defense in depth.)
+#pragma once
+
+#include <string_view>
+
+#include "serial/serializable.h"
+#include "serial/value.h"
+
+namespace mar::agent {
+
+using serial::Value;
+
+class DataSpace {
+ public:
+  enum class Mode { normal, compensating };
+
+  /// Declare a strongly reversible slot (idempotent; keeps existing value).
+  void declare_strong(std::string_view name, Value initial);
+  /// Declare a weakly reversible slot (idempotent; keeps existing value).
+  void declare_weak(std::string_view name, Value initial);
+
+  [[nodiscard]] bool has_strong(std::string_view name) const;
+  [[nodiscard]] bool has_weak(std::string_view name) const;
+
+  /// Access a strongly reversible object. LogicError in compensating mode.
+  [[nodiscard]] Value& strong(std::string_view name);
+  [[nodiscard]] const Value& strong(std::string_view name) const;
+  /// Access a weakly reversible object.
+  [[nodiscard]] Value& weak(std::string_view name);
+  [[nodiscard]] const Value& weak(std::string_view name) const;
+
+  /// Physical before-image of all strong slots (savepoint data).
+  [[nodiscard]] Value strong_image() const { return strong_; }
+  /// Restore all strong slots from a savepoint image.
+  void restore_strong(Value image);
+
+  /// The whole weak-slot map; handed to compensating operations.
+  [[nodiscard]] Value* weak_slots() { return &weak_; }
+  [[nodiscard]] const Value& weak_image() const { return weak_; }
+
+  void set_mode(Mode mode) { mode_ = mode; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+
+ private:
+  Value strong_ = Value::empty_map();
+  Value weak_ = Value::empty_map();
+  Mode mode_ = Mode::normal;  // runtime-only; not serialized
+};
+
+}  // namespace mar::agent

@@ -1,0 +1,426 @@
+#include "agent/itinerary.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mar::agent {
+
+// ---------------------------------------------------------------------------
+// Conditions (ref [14] preconditions)
+// ---------------------------------------------------------------------------
+
+bool Condition::eval(const serial::Value& weak) const {
+  const bool present = weak.has(slot) && !weak.at(slot).is_null();
+  switch (op) {
+    case Op::exists: return present;
+    case Op::not_exists: return !present;
+    default: break;
+  }
+  if (!present) return false;
+  const serial::Value& v = weak.at(slot);
+  switch (op) {
+    case Op::eq: return v == literal;
+    case Op::ne: return !(v == literal);
+    case Op::lt: return v.as_int() < literal.as_int();
+    case Op::le: return v.as_int() <= literal.as_int();
+    case Op::gt: return v.as_int() > literal.as_int();
+    case Op::ge: return v.as_int() >= literal.as_int();
+    default: return false;
+  }
+}
+
+void Condition::serialize(serial::Encoder& enc) const {
+  enc.write_string(slot);
+  enc.write_u8(static_cast<std::uint8_t>(op));
+  literal.serialize(enc);
+}
+
+void Condition::deserialize(serial::Decoder& dec) {
+  slot = dec.read_string();
+  op = static_cast<Op>(dec.read_u8());
+  literal.deserialize(dec);
+}
+
+std::string Condition::to_string() const {
+  static constexpr const char* kOps[] = {"?",  "!?", "==", "!=",
+                                         "<",  "<=", ">",  ">="};
+  return slot + std::string(kOps[static_cast<int>(op)]) +
+         (op == Op::exists || op == Op::not_exists ? "" : literal.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Entry serialization
+// ---------------------------------------------------------------------------
+
+void StepEntry::serialize(serial::Encoder& enc) const {
+  enc.write_string(method);
+  enc.write_varint(locations.size());
+  for (const auto n : locations) enc.write_u32(n.value());
+  enc.write_bool(when.has_value());
+  if (when.has_value()) when->serialize(enc);
+}
+
+void StepEntry::deserialize(serial::Decoder& dec) {
+  method = dec.read_string();
+  locations.resize(dec.read_count());
+  for (auto& n : locations) n = NodeId(dec.read_u32());
+  if (dec.read_bool()) {
+    when.emplace();
+    when->deserialize(dec);
+  } else {
+    when.reset();
+  }
+}
+
+void Itinerary::Entry::serialize(serial::Encoder& enc) const {
+  enc.write_u8(is_step() ? 0 : is_sub() ? 1 : 2);
+  if (is_step()) {
+    step().serialize(enc);
+  } else if (is_sub()) {
+    enc.write_bool(vital_);
+    sub().serialize(enc);
+  } else {
+    enc.write_bool(vital_);
+    enc.write_varint(alt().options.size());
+    for (const auto& option : alt().options) option.serialize(enc);
+  }
+}
+
+void Itinerary::Entry::deserialize(serial::Decoder& dec) {
+  const auto tag = dec.read_u8();
+  if (tag == 0) {
+    StepEntry s;
+    s.deserialize(dec);
+    body_ = std::move(s);
+    vital_ = true;
+  } else if (tag == 1) {
+    vital_ = dec.read_bool();
+    Itinerary i;
+    i.deserialize(dec);
+    body_ = std::move(i);
+  } else if (tag == 2) {
+    vital_ = dec.read_bool();
+    AltEntry a;
+    a.options.resize(dec.read_count());
+    for (auto& option : a.options) option.deserialize(dec);
+    body_ = std::move(a);
+  } else {
+    throw serial::DecodeError("bad itinerary entry tag");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Builders and validation
+// ---------------------------------------------------------------------------
+
+Itinerary& Itinerary::step(std::string method, NodeId node) {
+  return step(std::move(method), std::vector<NodeId>{node});
+}
+
+Itinerary& Itinerary::step(std::string method, std::vector<NodeId> locations) {
+  MAR_CHECK_MSG(!locations.empty(), "step entry needs at least one node");
+  entries_.emplace_back(
+      Entry(StepEntry{std::move(method), std::move(locations), {}}));
+  return *this;
+}
+
+Itinerary& Itinerary::step_if(std::string method, NodeId node,
+                              Condition when) {
+  entries_.emplace_back(Entry(StepEntry{
+      std::move(method), std::vector<NodeId>{node}, std::move(when)}));
+  return *this;
+}
+
+Itinerary& Itinerary::sub(Itinerary nested, bool vital) {
+  entries_.emplace_back(Entry(std::move(nested)));
+  entries_.back().set_vital(vital);
+  return *this;
+}
+
+Itinerary& Itinerary::alt(std::vector<Itinerary> options) {
+  MAR_CHECK_MSG(!options.empty(), "alternatives entry needs options");
+  entries_.emplace_back(Entry(AltEntry{std::move(options)}));
+  return *this;
+}
+
+namespace {
+Status validate_subtree(const Itinerary& it) {
+  if (it.empty()) {
+    return Status(Errc::invalid_itinerary, "empty (sub-)itinerary");
+  }
+  for (const auto& e : it.entries()) {
+    if (e.is_sub()) {
+      MAR_RETURN_IF_ERROR(validate_subtree(e.sub()));
+    } else if (e.is_alt()) {
+      if (e.alt().options.empty()) {
+        return Status(Errc::invalid_itinerary,
+                      "alternatives entry without options");
+      }
+      for (const auto& option : e.alt().options) {
+        MAR_RETURN_IF_ERROR(validate_subtree(option));
+      }
+    }
+  }
+  return Status::ok();
+}
+}  // namespace
+
+Status Itinerary::validate_main() const {
+  if (entries_.empty()) {
+    return Status(Errc::invalid_itinerary, "main itinerary is empty");
+  }
+  for (const auto& e : entries_) {
+    if (e.is_step()) {
+      // Sec. 4.4.2: "To provide a clear semantics, no step entries are
+      // allowed in the main itinerary."
+      return Status(Errc::invalid_itinerary,
+                    "step entries are not allowed in the main itinerary");
+    }
+    if (e.is_alt()) {
+      return Status(Errc::invalid_itinerary,
+                    "alternatives are not allowed at the top level; wrap "
+                    "them in a sub-itinerary");
+    }
+    MAR_RETURN_IF_ERROR(validate_subtree(e.sub()));
+  }
+  return Status::ok();
+}
+
+void Itinerary::serialize(serial::Encoder& enc) const {
+  enc.write_varint(entries_.size());
+  for (const auto& e : entries_) e.serialize(enc);
+}
+
+void Itinerary::deserialize(serial::Decoder& dec) {
+  entries_.resize(dec.read_count());
+  for (auto& e : entries_) e.deserialize(dec);
+}
+
+// ---------------------------------------------------------------------------
+// Navigation
+// ---------------------------------------------------------------------------
+
+const Itinerary* Itinerary::itinerary_at_prefix(const Position& pos,
+                                                std::size_t len) const {
+  const Itinerary* it = this;
+  std::size_t i = 0;
+  while (i < len) {
+    MAR_CHECK(pos[i] < it->entries_.size());
+    const Entry& e = it->entries_[pos[i]];
+    if (e.is_sub()) {
+      it = &e.sub();
+      ++i;
+      continue;
+    }
+    MAR_CHECK_MSG(e.is_alt(), "position prefix crosses a step entry");
+    MAR_CHECK_MSG(i + 1 < len, "position prefix splits an alternatives pair");
+    MAR_CHECK(pos[i + 1] < e.alt().options.size());
+    it = &e.alt().options[pos[i + 1]];
+    i += 2;
+  }
+  return it;
+}
+
+std::optional<Position> Itinerary::first_step_from(Position base,
+                                                   std::size_t index) const {
+  const Itinerary* it = itinerary_at_prefix(base, base.size());
+  for (std::size_t i = index; i < it->entries_.size(); ++i) {
+    const Entry& e = it->entries_[i];
+    base.push_back(static_cast<std::uint32_t>(i));
+    if (e.is_step()) return base;
+    if (e.is_sub()) {
+      auto down = e.sub().first_step_from(Position{}, 0);
+      if (down.has_value()) {
+        base.insert(base.end(), down->begin(), down->end());
+        return base;
+      }
+    } else {
+      // Alternatives always open with their first option.
+      base.push_back(0);
+      auto down = e.alt().options[0].first_step_from(Position{}, 0);
+      if (down.has_value()) {
+        base.insert(base.end(), down->begin(), down->end());
+        return base;
+      }
+      base.pop_back();
+    }
+    base.pop_back();
+  }
+  return std::nullopt;
+}
+
+std::optional<Position> Itinerary::first_step() const {
+  return first_step_from(Position{}, 0);
+}
+
+std::optional<Position> Itinerary::first_step_under(
+    const Position& prefix) const {
+  return first_step_from(prefix, 0);
+}
+
+std::optional<Position> Itinerary::next_step(const Position& pos) const {
+  MAR_CHECK_MSG(!pos.empty(), "next_step on empty position");
+  // Classify each index: does it address an itinerary entry, or an option
+  // of an alternatives entry?
+  std::vector<bool> is_option(pos.size(), false);
+  {
+    const Itinerary* it = this;
+    std::size_t i = 0;
+    while (i < pos.size()) {
+      MAR_CHECK(pos[i] < it->entries_.size());
+      const Entry& e = it->entries_[pos[i]];
+      if (e.is_step()) break;
+      if (e.is_sub()) {
+        it = &e.sub();
+        ++i;
+        continue;
+      }
+      MAR_CHECK(i + 1 < pos.size());
+      is_option[i + 1] = true;
+      it = &e.alt().options[pos[i + 1]];
+      i += 2;
+    }
+  }
+  // Try successors at the current level, popping up one level at a time.
+  // Option levels are skipped entirely: sibling options are alternatives,
+  // not successors — the next candidate is the alternatives entry's own
+  // successor, tried when its index is popped.
+  Position prefix = pos;
+  while (!prefix.empty()) {
+    const auto index = prefix.back();
+    const bool option = is_option[prefix.size() - 1];
+    prefix.pop_back();
+    if (option) continue;
+    auto found = first_step_from(prefix, index + 1);
+    if (found.has_value()) return found;
+  }
+  return std::nullopt;
+}
+
+Itinerary::PrefixKind Itinerary::prefix_kind(const Position& prefix) const {
+  if (prefix.empty()) return PrefixKind::invalid;
+  const Itinerary* it = this;
+  std::size_t i = 0;
+  for (;;) {
+    if (prefix[i] >= it->entries_.size()) return PrefixKind::invalid;
+    const Entry& e = it->entries_[prefix[i]];
+    const bool last = i + 1 == prefix.size();
+    if (e.is_step()) return last ? PrefixKind::step : PrefixKind::invalid;
+    if (e.is_sub()) {
+      if (last) return PrefixKind::sub;
+      it = &e.sub();
+      ++i;
+      continue;
+    }
+    // Alternatives entry: the next index selects the option.
+    if (last) return PrefixKind::alt;
+    if (prefix[i + 1] >= e.alt().options.size()) return PrefixKind::invalid;
+    if (i + 2 == prefix.size()) return PrefixKind::alt_option;
+    it = &e.alt().options[prefix[i + 1]];
+    i += 2;
+  }
+}
+
+const Itinerary::Entry& Itinerary::entry_at(const Position& pos) const {
+  MAR_CHECK(!pos.empty());
+  const auto kind = prefix_kind(pos);
+  MAR_CHECK_MSG(kind == PrefixKind::sub || kind == PrefixKind::alt ||
+                    kind == PrefixKind::step,
+                "position does not address an itinerary entry");
+  const Itinerary* it = itinerary_at_prefix(pos, pos.size() - 1);
+  return it->entries_[pos.back()];
+}
+
+std::size_t Itinerary::alt_option_count(const Position& prefix) const {
+  MAR_CHECK(prefix.size() >= 2);
+  MAR_CHECK(prefix_kind(prefix) == PrefixKind::alt_option);
+  const Itinerary* it = itinerary_at_prefix(prefix, prefix.size() - 2);
+  return it->entries_[prefix[prefix.size() - 2]].alt().options.size();
+}
+
+const StepEntry& Itinerary::step_at(const Position& pos) const {
+  MAR_CHECK(!pos.empty());
+  const Itinerary* it = itinerary_at_prefix(pos, pos.size() - 1);
+  MAR_CHECK(pos.back() < it->entries_.size());
+  const Entry& e = it->entries_[pos.back()];
+  MAR_CHECK_MSG(e.is_step(), "position does not address a step entry");
+  return e.step();
+}
+
+bool Itinerary::valid_step(const Position& pos) const {
+  return !pos.empty() && prefix_kind(pos) == PrefixKind::step;
+}
+
+std::vector<Position> Itinerary::active_subs(const Position& pos) {
+  std::vector<Position> subs;
+  for (std::size_t len = 1; len < pos.size(); ++len) {
+    subs.emplace_back(pos.begin(), pos.begin() + static_cast<long>(len));
+  }
+  return subs;
+}
+
+namespace {
+bool is_prefix_of(const Position& prefix, const Position& pos) {
+  if (prefix.size() > pos.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), pos.begin());
+}
+}  // namespace
+
+std::vector<Position> Itinerary::exited_subs(const Position& from,
+                                             const Position& to) {
+  std::vector<Position> out;
+  const auto active = active_subs(from);
+  // Innermost first: walk the active chain from deepest to shallowest.
+  for (auto it = active.rbegin(); it != active.rend(); ++it) {
+    if (to.empty() || !is_prefix_of(*it, to)) out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<Position> Itinerary::entered_subs(const Position& from,
+                                              const Position& to) {
+  std::vector<Position> out;
+  for (const auto& sub : active_subs(to)) {  // outermost first
+    if (from.empty() || !is_prefix_of(sub, from)) out.push_back(sub);
+  }
+  return out;
+}
+
+namespace {
+void render(const Itinerary& it, std::ostringstream& os) {
+  os << "[";
+  bool first = true;
+  for (const auto& e : it.entries()) {
+    if (!first) os << " ";
+    first = false;
+    if (e.is_step()) {
+      os << e.step().method << "@N" << e.step().primary();
+      if (e.step().when.has_value()) {
+        os << "{" << e.step().when->to_string() << "}";
+      }
+    } else if (e.is_sub()) {
+      render(e.sub(), os);
+    } else {
+      os << "alt(";
+      bool first_option = true;
+      for (const auto& option : e.alt().options) {
+        if (!first_option) os << " | ";
+        first_option = false;
+        render(option, os);
+      }
+      os << ")";
+    }
+  }
+  os << "]";
+}
+}  // namespace
+
+std::string Itinerary::to_string() const {
+  std::ostringstream os;
+  render(*this, os);
+  return os.str();
+}
+
+}  // namespace mar::agent

@@ -1,0 +1,1380 @@
+#include "agent/node_runtime.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "contract/contract.h"
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "util/check.h"
+
+namespace mar::agent {
+
+using rollback::EntryKind;
+using rollback::OpEntryKind;
+using rollback::OperationEntry;
+using storage::QueueRecord;
+using storage::RecordKind;
+
+NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
+    : p_(platform), id_(id), qm_(storage_), rm_(storage_),
+      txm_(id, platform.sim(), platform.net(), storage_) {
+  txm_.register_participant(qm_);
+  txm_.register_participant(rm_);
+}
+
+void NodeRuntime::trace(TraceKind kind, std::string detail) {
+  p_.trace().emit(p_.sim().now(), kind, id_.value(), std::move(detail));
+}
+
+std::unique_ptr<Agent> NodeRuntime::decode(const serial::Bytes& bytes) const {
+  return decode_agent(p_.agent_types(), bytes);
+}
+
+QueueRecord NodeRuntime::make_record(const Agent& agent, RecordKind kind,
+                                     SavepointId rollback_target) {
+  QueueRecord rec;
+  rec.record_id = p_.next_record_id();
+  rec.agent = agent.id();
+  rec.kind = kind;
+  rec.rollback_target = rollback_target;
+  rec.payload = encode_agent(agent);
+  return rec;
+}
+
+void NodeRuntime::after(sim::TimeUs delay, std::function<void()> fn) {
+  const auto epoch = epoch_;
+  p_.sim().schedule_after(delay, [this, epoch, fn = std::move(fn)] {
+    if (epoch == epoch_) fn();
+  });
+}
+
+void NodeRuntime::enqueue_initial(QueueRecord record) {
+  storage_.enqueue(std::move(record));
+  pump();
+}
+
+void NodeRuntime::pump() {
+  if (!up_ || busy_) return;
+  if (storage_.queue_empty()) return;
+  after(0, [this] { process_front(); });
+}
+
+void NodeRuntime::process_front() {
+  if (!up_ || busy_) return;
+  const QueueRecord* front = storage_.front();
+  if (front == nullptr) return;
+  QueueRecord rec = *front;  // stable copy; the queue owns the original
+  // Multi-agent executions (Sec. 6): a requested cancellation takes
+  // effect at the next step boundary — exactly here, before the record
+  // is processed. In-flight rollbacks are never interrupted.
+  if (rec.kind != RecordKind::compensate &&
+      p_.cancel_requested(rec.agent)) {
+    execute_cancel(rec);
+    return;
+  }
+  switch (rec.kind) {
+    case RecordKind::execute:
+      execute_step(rec);
+      return;
+    case RecordKind::compensate:
+      execute_compensation(rec);
+      return;
+    case RecordKind::launch:
+      execute_launch(rec);
+      return;
+  }
+  MAR_CHECK_MSG(false, "unknown queue record kind");
+}
+
+void NodeRuntime::execute_launch(const QueueRecord& rec) {
+  // The spawn committed with the parent's step; this record only routes
+  // the child to its first step's node, with the usual retry machinery.
+  busy_ = true;
+  const TxId tx = txm_.begin();
+  qm_.stage_remove(tx, rec.record_id);
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  const StepEntry step = agent->itinerary().step_at(agent->position());
+  const auto attempt = attempts_[rec.record_id];
+  const NodeId dest = step.locations[attempt % step.locations.size()];
+  QueueRecord next_rec =
+      make_record(*agent, RecordKind::execute, SavepointId::invalid());
+  if (dest != id_) {
+    trace(TraceKind::migrate,
+          "child agent " + std::to_string(rec.agent.value()) + " -> N" +
+              std::to_string(dest.value()) + " (launch, " +
+              std::to_string(next_rec.payload.size()) + " bytes)");
+  }
+  stage_and_commit(tx, dest, std::move(next_rec),
+                   [this, rec](bool committed) {
+                     busy_ = false;
+                     if (committed) {
+                       attempts_.erase(rec.record_id);
+                       pump();
+                     } else {
+                       ++attempts_[rec.record_id];
+                       retry_later(rec.record_id);
+                     }
+                   });
+}
+
+void NodeRuntime::execute_cancel(const QueueRecord& rec) {
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  const auto target = agent->log().first_savepoint();
+  if (!target.valid()) {
+    // Sec. 4.4.2: a complete rollback (abort) is only possible while the
+    // first top-level sub-itinerary executes. The log was discarded: the
+    // cancellation is void; the agent runs on to completion.
+    trace(TraceKind::msg,
+          "cancel of agent " + std::to_string(rec.agent.value()) +
+              " void (rollback log discarded); agent continues");
+    p_.clear_cancel(rec.agent);
+    if (rec.kind == RecordKind::execute) {
+      execute_step(rec);
+    } else {
+      execute_launch(rec);
+    }
+    return;
+  }
+  busy_ = true;
+  p_.clear_cancel(rec.agent);
+  trace(TraceKind::rollback_begin,
+        "cancelling agent " + std::to_string(rec.agent.value()) +
+            " (complete rollback to SP_" + std::to_string(target.value()) +
+            ")");
+  initiate_cancel_rollback(rec, target);
+}
+
+void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
+                                           SavepointId target) {
+  const TxId tx = txm_.begin();
+  qm_.stage_remove(tx, rec.record_id);
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  auto& log = agent->log();
+  while (!log.empty() && log.back().is_savepoint() &&
+         log.back().savepoint().id != target) {
+    (void)log.pop();
+  }
+  if (log.trailing_savepoint() == target) {
+    // Nothing committed since launch: terminate right away.
+    finish_cancelled(tx, rec, *agent);
+    return;
+  }
+  const auto dests = next_compensation_nodes(log, *agent, rec.payload.size());
+  if (dests.empty()) {
+    fail_agent(tx, rec, Status(Errc::protocol_error,
+                               "cancel: rollback log has no end-of-step"));
+    return;
+  }
+  const auto attempt = attempts_[rec.record_id];
+  const NodeId dest = dests[attempt % dests.size()];
+  QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
+  comp_rec.completion = QueueRecord::Completion::cancel;
+  if (dest != id_) {
+    ++p_.rollback_transfers();
+    trace(TraceKind::migrate,
+          "agent " + std::to_string(rec.agent.value()) + " -> N" +
+              std::to_string(dest.value()) + " (cancel rollback)");
+  }
+  stage_and_commit(tx, dest, std::move(comp_rec),
+                   [this, rec](bool committed) {
+                     busy_ = false;
+                     if (committed) {
+                       attempts_.erase(rec.record_id);
+                       pump();
+                     } else {
+                       ++attempts_[rec.record_id];
+                       retry_later(rec.record_id);
+                     }
+                   });
+}
+
+void NodeRuntime::retry_later(std::uint64_t record_id) {
+  const auto backoff =
+      p_.config().retry_backoff_us +
+      p_.rng().next_below(p_.config().retry_backoff_us + 1);
+  (void)record_id;
+  after(backoff, [this] { process_front(); });
+}
+
+void NodeRuntime::on_node_state(bool up) {
+  ++epoch_;
+  up_ = up;
+  busy_ = false;
+  stage_waiters_.clear();
+  rce_waiters_.clear();
+  mce_waiters_.clear();
+  rpc_waiters_.clear();
+  if (up) {
+    txm_.on_recover();
+    pump();
+  } else {
+    txm_.on_crash();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::handle_message(const net::Message& m) {
+  if (m.type.rfind("tx.", 0) == 0) {
+    txm_.on_message(m);
+    pump();  // a tx.commit may have delivered a queue record
+    return;
+  }
+  serial::Decoder dec(m.payload);
+  if (m.type == msg::agent_stage) {
+    // A remote coordinator stages an agent transfer into our queue.
+    const TxId tx(dec.read_u64());
+    QueueRecord rec;
+    rec.deserialize(dec);
+    txm_.note_remote_staged(tx);
+    qm_.stage_enqueue(tx, std::move(rec));
+    serial::Encoder enc;
+    enc.write_u64(tx.value());
+    enc.write_bool(true);
+    p_.net().send(net::Message{id_, m.from, msg::agent_stage_ack,
+                               std::move(enc).take()});
+    return;
+  }
+  if (m.type == msg::agent_stage_ack) {
+    const TxId tx(dec.read_u64());
+    const bool ok = dec.read_bool();
+    auto it = stage_waiters_.find(tx);
+    if (it == stage_waiters_.end()) return;  // timed out / duplicate
+    auto cb = std::move(it->second);
+    stage_waiters_.erase(it);
+    cb(ok);
+    return;
+  }
+  if (m.type == msg::rce_exec) {
+    // Shipped resource compensation entries (optimized algorithm): run
+    // them here inside the coordinator's compensation transaction.
+    const TxId tx(dec.read_u64());
+    const auto n = dec.read_count();
+    std::vector<OperationEntry> ops(n);
+    for (auto& op : ops) op.deserialize(dec);
+    txm_.note_remote_staged(tx);
+    const auto service =
+        static_cast<sim::TimeUs>(ops.size()) * p_.config().comp_op_service_us;
+    after(service, [this, tx, ops = std::move(ops), from = m.from] {
+      Status st = Status::ok();
+      for (const auto& op : ops) {
+        st = run_comp_op(tx, op, nullptr);
+        if (!st.is_ok()) break;
+      }
+      serial::Encoder enc;
+      enc.write_u64(tx.value());
+      enc.write_bool(st.is_ok());
+      p_.net().send(
+          net::Message{id_, from, msg::rce_ack, std::move(enc).take()});
+    });
+    return;
+  }
+  if (m.type == msg::mce_exec) {
+    // Adaptive strategy (Sec. 4.4.1): a mixed step's complete operation
+    // entry list plus a snapshot of the agent's weakly reversible objects,
+    // executed here (the resource node) inside the coordinator's
+    // compensation transaction. The weak-state mutations travel back with
+    // the acknowledgement; they become durable only when the coordinator
+    // commits the transaction, so a lost reply or an abort discards them.
+    const TxId tx(dec.read_u64());
+    const auto n = dec.read_count();
+    std::vector<OperationEntry> ops(n);
+    for (auto& op : ops) op.deserialize(dec);
+    serial::Value weak;
+    weak.deserialize(dec);
+    txm_.note_remote_staged(tx);
+    const auto service =
+        static_cast<sim::TimeUs>(ops.size()) * p_.config().comp_op_service_us;
+    after(service, [this, tx, ops = std::move(ops), weak = std::move(weak),
+                    from = m.from]() mutable {
+      Status st = Status::ok();
+      for (const auto& op : ops) {
+        st = run_comp_op(tx, op, &weak);
+        if (!st.is_ok()) break;
+      }
+      serial::Encoder enc;
+      enc.write_u64(tx.value());
+      enc.write_bool(st.is_ok());
+      weak.serialize(enc);
+      p_.net().send(
+          net::Message{id_, from, msg::mce_ack, std::move(enc).take()});
+    });
+    return;
+  }
+  if (m.type == msg::mce_ack) {
+    const TxId tx(dec.read_u64());
+    const bool ok = dec.read_bool();
+    serial::Value weak;
+    weak.deserialize(dec);
+    auto it = mce_waiters_.find(tx);
+    if (it == mce_waiters_.end()) return;  // timed out / duplicate
+    auto cb = std::move(it->second);
+    mce_waiters_.erase(it);
+    cb(ok, std::move(weak));
+    return;
+  }
+  if (m.type == contract::msg::invoke) {
+    // Remote resource access by RPC: used by the ConTract-style central
+    // baseline and available as the Sec. 4.4.1 "further optimization".
+    auto req = contract::decode_invoke(m);
+    txm_.note_remote_staged(req.tx);
+    const auto service = p_.config().resource_op_service_us;
+    after(service, [this, req = std::move(req), from = m.from] {
+      Status st;
+      if (req.comp_op.empty()) {
+        st = rm_.invoke(req.tx, req.resource, req.op, req.params).status();
+      } else {
+        // A shipped compensating operation in a resource-entry context.
+        rollback::CompensationContext ctx(rollback::OpEntryKind::resource,
+                                          req.params, p_.sim().now(), &rm_,
+                                          req.tx, nullptr);
+        st = p_.compensations().run(req.comp_op, ctx);
+      }
+      p_.net().send(net::Message{id_, from, contract::msg::result,
+                                 contract::encode_result(req.tx, st)});
+    });
+    return;
+  }
+  if (m.type == contract::msg::result) {
+    const auto [tx, status] = contract::decode_result(m);
+    auto it = rpc_waiters_.find(tx);
+    if (it == rpc_waiters_.end()) return;  // timed out / duplicate
+    auto cb = std::move(it->second);
+    rpc_waiters_.erase(it);
+    cb(status.is_ok());
+    return;
+  }
+  if (m.type == msg::rce_ack) {
+    const TxId tx(dec.read_u64());
+    const bool ok = dec.read_bool();
+    auto it = rce_waiters_.find(tx);
+    if (it == rce_waiters_.end()) return;
+    auto cb = std::move(it->second);
+    rce_waiters_.erase(it);
+    cb(ok);
+    return;
+  }
+  MAR_CHECK_MSG(false, "unknown message type " << m.type);
+}
+
+// ---------------------------------------------------------------------------
+// Transfer / commit plumbing
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::stage_and_commit(TxId tx, NodeId dest, QueueRecord record,
+                                   std::function<void(bool)> done) {
+  if (dest == id_) {
+    qm_.stage_enqueue(tx, std::move(record));
+    txm_.commit_async(tx, std::move(done));
+    return;
+  }
+  txm_.enlist_remote(tx, dest);
+  serial::Encoder enc;
+  enc.write_u64(tx.value());
+  record.serialize(enc);
+  const auto wire_bytes = enc.size();
+  p_.net().send(
+      net::Message{id_, dest, msg::agent_stage, std::move(enc).take()});
+  stage_waiters_[tx] = [this, tx, done](bool ok) {
+    if (!ok) {
+      txm_.abort_tx(tx);
+      done(false);
+      return;
+    }
+    txm_.commit_async(tx, done);
+  };
+  if (p_.config().stage_timeout_us > 0) {
+    const auto timeout = p_.config().stage_timeout_us +
+                         4 * p_.net().transfer_time(id_, dest, wire_bytes);
+    after(timeout, [this, tx] {
+      auto it = stage_waiters_.find(tx);
+      if (it == stage_waiters_.end()) return;
+      auto cb = std::move(it->second);
+      stage_waiters_.erase(it);
+      cb(false);
+    });
+  }
+}
+
+void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
+  txm_.abort_tx(tx);
+  trace(TraceKind::msg, "agent " + std::to_string(rec.agent.value()) +
+                            " FAILED: " + status.to_string());
+  const TxId cleanup = txm_.begin();
+  qm_.stage_remove(cleanup, rec.record_id);
+  // Multi-agent executions: a waiting parent learns of the failure
+  // through the mailbox, within the same cleanup transaction.
+  auto failed = decode(rec.payload);
+  deliver_result(
+      cleanup, *failed, /*ok=*/false, status,
+      [this, cleanup, rec, status](bool delivered) {
+        if (!delivered) {
+          txm_.abort_tx(cleanup);
+          busy_ = false;
+          retry_later(rec.record_id);
+          return;
+        }
+        txm_.commit_async(cleanup, [this, rec, status](bool committed) {
+          if (!committed) {
+            busy_ = false;
+            retry_later(rec.record_id);
+            return;
+          }
+          AgentOutcome out;
+          out.state = AgentOutcome::State::failed;
+          out.status = status;
+          out.final_agent = rec.payload;
+          out.final_node = id_;
+          out.finished_at = p_.sim().now();
+          p_.record_outcome(rec.agent, std::move(out));
+          busy_ = false;
+          pump();
+        });
+      });
+}
+
+void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
+                               Agent& agent) {
+  serial::Bytes final_bytes = encode_agent(agent);
+  // Multi-agent executions: the result is delivered to the parent's
+  // mailbox within this final step transaction — exactly once.
+  deliver_result(
+      tx, agent, /*ok=*/true, Status::ok(),
+      [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
+        if (!delivered) {
+          txm_.abort_tx(tx);
+          busy_ = false;
+          retry_later(rec.record_id);
+          return;
+        }
+        txm_.commit_async(tx, [this, rec, final_bytes = std::move(
+                                              final_bytes)](bool ok) {
+          if (!ok) {
+            busy_ = false;
+            retry_later(rec.record_id);
+            return;
+          }
+          trace(TraceKind::step_commit,
+                "agent " + std::to_string(rec.agent.value()) + " completed");
+          AgentOutcome out;
+          out.state = AgentOutcome::State::done;
+          out.final_agent = final_bytes;
+          out.final_node = id_;
+          out.finished_at = p_.sim().now();
+          p_.record_outcome(rec.agent, std::move(out));
+          busy_ = false;
+          pump();
+        });
+      });
+}
+
+void NodeRuntime::deliver_result(TxId tx, const Agent& agent, bool ok,
+                                 const Status& error,
+                                 std::function<void(bool)> done) {
+  if (agent.result_key().empty()) {
+    done(true);
+    return;
+  }
+  // The result record the parent's join_child() takes from the mailbox.
+  serial::Value record = serial::Value::empty_map();
+  record.set("ok", ok);
+  record.set("agent", static_cast<std::int64_t>(agent.id().value()));
+  if (ok) {
+    record.set("result", agent.data().weak_image().has("result")
+                             ? agent.data().weak_image().at("result")
+                             : agent.data().weak_image());
+  } else {
+    record.set("error", error.to_string());
+  }
+  serial::Value params = serial::Value::empty_map();
+  params.set("key", agent.result_key());
+  params.set("value", std::move(record));
+
+  if (agent.result_node() == id_) {
+    done(rm_.invoke(tx, "mailbox", "put", params).is_ok());
+    return;
+  }
+  // Remote delivery: a transactional RPC to the mailbox node, enlisted in
+  // this transaction (the Sec. 4.4.1 RPC mechanism) — delivery commits
+  // atomically with the agent's terminal transaction.
+  txm_.enlist_remote(tx, agent.result_node());
+  p_.net().send(net::Message{
+      id_, agent.result_node(), contract::msg::invoke,
+      contract::encode_invoke(tx, "mailbox", "put", params, "")});
+  rpc_waiters_[tx] = done;
+  if (p_.config().stage_timeout_us > 0) {
+    const auto timeout = p_.config().stage_timeout_us;
+    after(timeout, [this, tx, done] {
+      auto it = rpc_waiters_.find(tx);
+      if (it == rpc_waiters_.end()) return;
+      rpc_waiters_.erase(it);
+      done(false);
+    });
+  }
+}
+
+void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
+                                   Agent& agent) {
+  serial::Bytes final_bytes = encode_agent(agent);
+  deliver_result(
+      tx, agent, /*ok=*/false, Status(Errc::tx_aborted, "cancelled"),
+      [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
+        if (!delivered) {
+          txm_.abort_tx(tx);
+          busy_ = false;
+          retry_later(rec.record_id);
+          return;
+        }
+        txm_.commit_async(tx, [this, rec,
+                               final_bytes =
+                                   std::move(final_bytes)](bool ok) {
+          if (!ok) {
+            busy_ = false;
+            retry_later(rec.record_id);
+            return;
+          }
+          trace(TraceKind::rollback_done,
+                "agent " + std::to_string(rec.agent.value()) + " CANCELLED");
+          AgentOutcome out;
+          out.state = AgentOutcome::State::cancelled;
+          out.status = Status(Errc::tx_aborted, "cancelled");
+          out.final_agent = final_bytes;
+          out.final_node = id_;
+          out.finished_at = p_.sim().now();
+          p_.record_outcome(rec.agent, std::move(out));
+          busy_ = false;
+          pump();
+        });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Step execution (exactly-once protocol of ref [11])
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::execute_step(const QueueRecord& rec) {
+  busy_ = true;
+  const TxId tx = txm_.begin();
+  qm_.stage_remove(tx, rec.record_id);
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  MAR_CHECK_MSG(agent->itinerary().valid_step(agent->position()),
+                "agent position does not address a step");
+  const StepEntry step = agent->itinerary().step_at(agent->position());
+  trace(TraceKind::step_begin,
+        "T(" + step.method + ") agent " + std::to_string(rec.agent.value()));
+
+  StepContext ctx(id_, p_.sim().now(), tx, *agent, rm_, p_.rng());
+  if (step.when.has_value() &&
+      !step.when->eval(agent->data().weak_image())) {
+    // Ref [14] preconditions: an unsatisfied step is skipped — the step
+    // transaction still runs (empty), keeping the itinerary bookkeeping
+    // and exactly-once machinery uniform.
+    trace(TraceKind::msg, step.method + " skipped (precondition " +
+                              step.when->to_string() + " unsatisfied)");
+  } else {
+    agent->run_step(step.method, ctx);
+  }
+
+  if (ctx.fatal()) {
+    // Lock conflict / forced abort: undo and restart the step later.
+    txm_.abort_tx(tx);
+    trace(TraceKind::step_abort, step.method + ": " +
+                                     ctx.fatal_status().to_string() +
+                                     " (will restart)");
+    ++attempts_[rec.record_id];
+    busy_ = false;
+    retry_later(rec.record_id);
+    return;
+  }
+
+  if (ctx.failed_permanently()) {
+    // The step cannot succeed, ever (e.g. missing permission, Sec. 1).
+    // Flexible-itinerary semantics: try the next option of the innermost
+    // enclosing alternatives entry (ref [14]); otherwise abandon the
+    // innermost non-vital sub-itinerary (Sec. 5); otherwise the agent
+    // fails.
+    auto pre_agent = decode(rec.payload);
+    txm_.abort_tx(tx);
+    trace(TraceKind::step_abort,
+          step.method + " failed permanently: " +
+              ctx.permanent_status().to_string());
+    const auto plan = failure_plan_for(*pre_agent);
+    if (!plan.has_value()) {
+      const TxId dummy = txm_.begin();
+      fail_agent(dummy, rec, ctx.permanent_status());
+      return;
+    }
+    const auto check = check_rollback_target(*pre_agent, plan->target);
+    if (!check.is_ok()) {
+      const TxId dummy = txm_.begin();
+      fail_agent(dummy, rec, check);
+      return;
+    }
+    trace(TraceKind::rollback_begin,
+          std::string(plan->completion == QueueRecord::Completion::next_alt
+                          ? "try next alternative"
+                          : "abandon non-vital sub") +
+              " (SP_" + std::to_string(plan->target.value()) + ")");
+    initiate_rollback(rec, plan->target, plan->completion);
+    return;
+  }
+
+  if (ctx.rollback_request().has_value()) {
+    // Fig. 4a/5a: abort the step transaction; the agent state and log read
+    // from stable storage (the queue record) are the pre-step state.
+    auto pre_agent = decode(rec.payload);
+    const auto target =
+        resolve_rollback_target(*pre_agent, *ctx.rollback_request());
+    txm_.abort_tx(tx);
+    trace(TraceKind::step_abort, step.method + " (rollback requested)");
+    if (!target.is_ok()) {
+      const TxId dummy = txm_.begin();
+      fail_agent(dummy, rec, target.status());
+      return;
+    }
+    trace(TraceKind::rollback_begin,
+          "to SP_" + std::to_string(target.value().value()) +
+              (ctx.rollback_request()->skip ? " (abandon)" : ""));
+    initiate_rollback(rec, target.value(),
+                      ctx.rollback_request()->skip
+                          ? QueueRecord::Completion::skip_sub
+                          : QueueRecord::Completion::resume);
+    return;
+  }
+
+  complete_step(tx, rec, std::move(agent), ctx);
+}
+
+SavepointId NodeRuntime::savepoint_at_depth(const Agent& agent,
+                                            std::uint32_t depth) {
+  const auto& stack = agent.savepoint_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->origin == rollback::SavepointOrigin::sub_itinerary &&
+        it->depth == depth) {
+      return it->id;
+    }
+  }
+  return SavepointId::invalid();
+}
+
+std::optional<NodeRuntime::FailurePlan> NodeRuntime::failure_plan_for(
+    const Agent& agent) const {
+  const auto& itinerary = agent.itinerary();
+  const auto levels = Itinerary::active_subs(agent.position());
+  for (auto p = levels.rbegin(); p != levels.rend(); ++p) {
+    const auto depth = static_cast<std::uint32_t>(p->size());
+    switch (itinerary.prefix_kind(*p)) {
+      case Itinerary::PrefixKind::alt_option: {
+        // Untried options left? Roll this option back and enter the next.
+        if (p->back() + 1 < itinerary.alt_option_count(*p)) {
+          const auto sp = savepoint_at_depth(agent, depth);
+          if (sp.valid()) {
+            return FailurePlan{sp, QueueRecord::Completion::next_alt};
+          }
+        }
+        break;  // options exhausted: keep searching outward
+      }
+      case Itinerary::PrefixKind::sub: {
+        if (!itinerary.entry_at(*p).vital()) {
+          const auto sp = savepoint_at_depth(agent, depth);
+          if (sp.valid()) {
+            return FailurePlan{sp, QueueRecord::Completion::skip_sub};
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
+                                std::shared_ptr<Agent> agent,
+                                StepContext& ctx) {
+  const StepEntry step = agent->itinerary().step_at(agent->position());
+  auto& log = agent->log();
+
+  // Multi-agent executions (Sec. 6): prepare and stage the children
+  // spawned during this step. Their launch records enter THIS node's
+  // queue within the step transaction, so spawns commit atomically with
+  // the step — exactly once, like any other step effect.
+  std::vector<AgentId> spawned;
+  for (auto& spawn : ctx.spawns()) {
+    auto child = p_.prepare_child(*spawn.child, agent->id(), id_,
+                                  spawn.result_node, spawn.result_key);
+    MAR_CHECK_MSG(child.is_ok(),
+                  "spawned child is invalid: " << child.status());
+    QueueRecord launch_rec;
+    launch_rec.record_id = p_.next_record_id();
+    launch_rec.agent = child.value();
+    launch_rec.kind = RecordKind::launch;
+    launch_rec.payload = encode_agent(*spawn.child);
+    qm_.stage_enqueue(tx, std::move(launch_rec));
+    spawned.push_back(child.value());
+    trace(TraceKind::msg,
+          "spawned child agent " + std::to_string(child.value().value()));
+  }
+
+  // Append the step's log segment: BOS, OE..., EOS (Sec. 4.2, Fig. 2).
+  log.push(rollback::BeginOfStepEntry{id_, step.method});
+  bool has_mixed = false;
+  for (const auto& op : ctx.logged_ops()) {
+    has_mixed = has_mixed || op.kind == OpEntryKind::mixed;
+    log.push(op);
+  }
+  // Compensating a spawn cancels the child; logged after the step's own
+  // entries so that (in reverse execution order) children are cancelled
+  // before the step's other effects are compensated.
+  for (const auto child : spawned) {
+    serial::Value params = serial::Value::empty_map();
+    params.set("child", static_cast<std::int64_t>(child.value()));
+    log.push(OperationEntry{OpEntryKind::agent, "sys.cancel_child",
+                            std::move(params), NodeId::invalid(),
+                            std::string{}});
+  }
+  rollback::EndOfStepEntry eos;
+  eos.node = id_;
+  eos.has_mixed = has_mixed;
+  eos.cannot_compensate = ctx.not_compensatable();
+  for (const auto n : step.locations) {
+    if (n != id_) eos.alternatives.push_back(n);
+  }
+  log.push(std::move(eos));
+
+  // Advance the itinerary; write savepoints; GC/discard (Sec. 4.4.2).
+  const Position from = agent->position();
+  const auto next = agent->itinerary().next_step(from);
+  p_.advance_itinerary(id_, *agent, from, next, ctx.requested_savepoints());
+  if (next.has_value()) {
+    agent->set_position(*next);
+  } else {
+    agent->set_run_state(Agent::RunState::done);
+  }
+
+  const auto service = static_cast<sim::TimeUs>(ctx.resource_ops_invoked()) *
+                       p_.config().resource_op_service_us;
+  after(service, [this, tx, rec, agent = std::move(agent), spawned] {
+    if (agent->run_state() == Agent::RunState::done) {
+      finish_agent(tx, rec, *agent);
+      return;
+    }
+    // Route to the next step's node; rotate through the alternatives on
+    // repeated failures (fault-tolerant execution, ref [11]).
+    const StepEntry next_step = agent->itinerary().step_at(agent->position());
+    const auto attempt = attempts_[rec.record_id];
+    const NodeId dest =
+        next_step.locations[attempt % next_step.locations.size()];
+    QueueRecord next_rec =
+        make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    if (dest != id_) {
+      trace(TraceKind::migrate,
+            "agent " + std::to_string(rec.agent.value()) + " -> N" +
+                std::to_string(dest.value()) + " (" +
+                std::to_string(next_rec.payload.size()) + " bytes)");
+    }
+    stage_and_commit(tx, dest, std::move(next_rec),
+                     [this, rec, spawned](bool committed) {
+                       if (committed) {
+                         trace(TraceKind::step_commit, "T committed");
+                         attempts_.erase(rec.record_id);
+                       } else {
+                         trace(TraceKind::step_abort,
+                               "commit failed (will restart)");
+                         ++attempts_[rec.record_id];
+                         // The spawns died with the transaction; the step
+                         // will re-execute and re-spawn under fresh ids.
+                         for (const auto child : spawned) {
+                           p_.forget_agent(child);
+                         }
+                       }
+                       busy_ = false;
+                       if (committed) {
+                         pump();
+                       } else {
+                         retry_later(rec.record_id);
+                       }
+                     });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rollback (Sec. 4.3 / 4.4)
+// ---------------------------------------------------------------------------
+
+Result<SavepointId> NodeRuntime::resolve_rollback_target(
+    const Agent& agent, const RollbackRequest& request) const {
+  SavepointId target = SavepointId::invalid();
+  if (std::holds_alternative<SavepointId>(request.target)) {
+    target = std::get<SavepointId>(request.target);
+  } else {
+    target = agent.sub_savepoint(std::get<std::uint32_t>(request.target));
+  }
+  if (!target.valid()) {
+    return Status(Errc::not_found, "no such rollback target");
+  }
+  MAR_RETURN_IF_ERROR(check_rollback_target(agent, target));
+  return target;
+}
+
+Status NodeRuntime::check_rollback_target(const Agent& agent,
+                                          SavepointId target) const {
+  const auto& log = agent.log();
+  if (!log.contains_savepoint(target)) {
+    return Status(Errc::not_found,
+                  "savepoint " + std::to_string(target.value()) +
+                      " is not in the rollback log");
+  }
+  // Sec. 3.2: a step containing a non-compensatable operation cannot be
+  // rolled back after commit — scan the segment that would be compensated.
+  for (auto it = log.entries().rbegin(); it != log.entries().rend(); ++it) {
+    if (it->is_savepoint() && it->savepoint().id == target) break;
+    if (it->kind() == EntryKind::end_of_step &&
+        it->end_of_step().cannot_compensate) {
+      return Status(Errc::not_compensatable,
+                    "a step between here and the target savepoint is not "
+                    "compensatable");
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+const char* completion_suffix(QueueRecord::Completion c) {
+  switch (c) {
+    case QueueRecord::Completion::resume: return "";
+    case QueueRecord::Completion::skip_sub: return " (abandoned)";
+    case QueueRecord::Completion::cancel: return " (cancelled)";
+    case QueueRecord::Completion::next_alt: return " (next alternative)";
+  }
+  return "";
+}
+}  // namespace
+
+void NodeRuntime::initiate_rollback(const QueueRecord& rec,
+                                    SavepointId target,
+                                    QueueRecord::Completion completion) {
+  // Fig. 4a / 5a: new transaction; read agent + LOG from stable storage.
+  const TxId tx = txm_.begin();
+  qm_.stage_remove(tx, rec.record_id);
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  auto& log = agent->log();
+
+  // Trailing savepoints that are not the target are dead: they belong to
+  // sub-itineraries being rolled back (this is the "tested before the
+  // agent is written to stable storage" of Fig. 4b, generalized to the
+  // nested case where several savepoints were established back-to-back).
+  while (!log.empty() && log.back().is_savepoint() &&
+         log.back().savepoint().id != target) {
+    (void)log.pop();
+  }
+
+  if (log.trailing_savepoint() == target) {
+    // The savepoint was set directly before the aborting step: the
+    // rollback is already finished; start the next step transaction.
+    trace(TraceKind::rollback_done,
+          "savepoint SP_" + std::to_string(target.value()) +
+              " reached immediately");
+    agent->note_rollback_completed();
+    if (completion == QueueRecord::Completion::skip_sub &&
+        !apply_skip(*agent, target)) {
+      finish_agent(tx, rec, *agent);
+      return;
+    }
+    if (completion == QueueRecord::Completion::next_alt) {
+      apply_next_alternative(*agent, target);
+    }
+    const StepEntry step = agent->itinerary().step_at(agent->position());
+    const auto attempt = attempts_[rec.record_id];
+    const NodeId dest = step.locations[attempt % step.locations.size()];
+    QueueRecord next_rec =
+        make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    stage_and_commit(tx, dest, std::move(next_rec),
+                     [this, rec](bool committed) {
+                       busy_ = false;
+                       if (committed) {
+                         attempts_.erase(rec.record_id);
+                         pump();
+                       } else {
+                         ++attempts_[rec.record_id];
+                         retry_later(rec.record_id);
+                       }
+                     });
+    return;
+  }
+
+  // Send the agent (or just the record, when it can stay) towards the
+  // first compensation transaction.
+  const auto dests = next_compensation_nodes(log, *agent, rec.payload.size());
+  if (dests.empty()) {
+    fail_agent(tx, rec, Status(Errc::protocol_error,
+                               "rollback log has no end-of-step entry"));
+    return;
+  }
+  const auto attempt = attempts_[rec.record_id];
+  const NodeId dest = dests[attempt % dests.size()];
+  QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
+  comp_rec.completion = completion;
+  if (dest != id_) {
+    ++p_.rollback_transfers();
+    trace(TraceKind::migrate,
+          "agent " + std::to_string(rec.agent.value()) + " -> N" +
+              std::to_string(dest.value()) + " (rollback, " +
+              std::to_string(comp_rec.payload.size()) + " bytes)");
+  }
+  stage_and_commit(tx, dest, std::move(comp_rec),
+                   [this, rec](bool committed) {
+                     busy_ = false;
+                     if (committed) {
+                       attempts_.erase(rec.record_id);
+                       pump();
+                     } else {
+                       ++attempts_[rec.record_id];
+                       retry_later(rec.record_id);
+                     }
+                   });
+}
+
+std::vector<NodeId> NodeRuntime::next_compensation_nodes(
+    const rollback::RollbackLog& log, const Agent& agent,
+    std::size_t agent_bytes) const {
+  const auto* eos = log.last_end_of_step();
+  if (eos == nullptr) return {};
+  const auto strategy = p_.config().strategy;
+  std::vector<NodeId> dests;
+  if (strategy != RollbackStrategy::basic && !eos->has_mixed) {
+    // Fig. 5a/5b: without a mixed compensation entry the agent stays where
+    // it is; resource compensation entries are shipped instead.
+    dests.push_back(id_);
+    return dests;
+  }
+  if (strategy == RollbackStrategy::adaptive && eos->node != id_ &&
+      ship_mixed_is_cheaper(log, agent, eos->node, agent_bytes)) {
+    // Sec. 4.4.1 "further optimizations": the performance model says
+    // shipping the compensation objects beats transferring the agent.
+    dests.push_back(id_);
+    return dests;
+  }
+  dests.push_back(eos->node);
+  for (const auto n : eos->alternatives) dests.push_back(n);
+  return dests;
+}
+
+bool NodeRuntime::ship_mixed_is_cheaper(const rollback::RollbackLog& log,
+                                        const Agent& agent, NodeId dest,
+                                        std::size_t agent_bytes) const {
+  // Price the two options with the ref [16] cost structure (latency +
+  // size/bandwidth), evaluated on the actual link parameters:
+  //   ship:    request (operation entries + weak-state snapshot) there,
+  //            reply (updated weak state) back;
+  //   migrate: the whole agent — state, itinerary and attached rollback
+  //            log — travels there (and would later have to travel on).
+  serial::Encoder ops_enc;
+  for (const auto* op : log.last_step_ops()) op->serialize(ops_enc);
+  const auto weak_bytes = serial::to_bytes(agent.data().weak_image()).size();
+  const auto request = ops_enc.size() + weak_bytes + 16;
+  const auto reply = weak_bytes + 16;
+  const auto ship_time = p_.net().transfer_time(id_, dest, request) +
+                         p_.net().transfer_time(dest, id_, reply);
+  const auto migrate_time = p_.net().transfer_time(id_, dest, agent_bytes);
+  return ship_time <= migrate_time;
+}
+
+Status NodeRuntime::run_comp_op(TxId tx, const OperationEntry& op,
+                                serial::Value* weak) {
+  rollback::CompensationContext ctx(op.kind, op.params, p_.sim().now(), &rm_,
+                                    tx, weak);
+  Status st = p_.compensations().run(op.comp_op, ctx);
+  trace(TraceKind::comp_op,
+        std::string(rollback::to_string(op.kind)) + " " + op.comp_op +
+            (st.is_ok() ? "" : " FAILED: " + st.to_string()));
+  return st;
+}
+
+void NodeRuntime::execute_compensation(const QueueRecord& rec) {
+  busy_ = true;
+  const TxId tx = txm_.begin();
+  qm_.stage_remove(tx, rec.record_id);
+  std::shared_ptr<Agent> agent = decode(rec.payload);
+  const SavepointId target = rec.rollback_target;
+  trace(TraceKind::comp_begin,
+        "CT for agent " + std::to_string(rec.agent.value()) + " (target SP_" +
+            std::to_string(target.value()) + ")");
+  // Sec. 4.3: strongly reversible objects must not be accessed until the
+  // savepoint is reached.
+  agent->data().set_mode(DataSpace::Mode::compensating);
+  auto& log = agent->log();
+
+  // Fig. 4b/5b: drop trailing savepoint entries (they cannot be the target
+  // — that was checked before the agent was written to stable storage).
+  while (!log.empty() && log.back().is_savepoint()) {
+    MAR_CHECK_MSG(log.back().savepoint().id != target,
+                  "target savepoint would be deleted");
+    (void)log.pop();
+  }
+  if (log.empty() || log.back().kind() != EntryKind::end_of_step) {
+    fail_agent(tx, rec, Status(Errc::protocol_error,
+                               "malformed rollback log (no EOS)"));
+    return;
+  }
+  const rollback::EndOfStepEntry eos = log.pop().end_of_step();
+  // Collect this step's operation entries; popping yields them in reverse
+  // logging order, which is exactly the compensation execution order.
+  std::vector<OperationEntry> ops;
+  for (;;) {
+    MAR_CHECK_MSG(!log.empty(), "rollback log has no begin-of-step entry");
+    auto entry = log.pop();
+    if (entry.kind() == EntryKind::begin_of_step) break;
+    MAR_CHECK(entry.kind() == EntryKind::operation);
+    ops.push_back(entry.operation());
+  }
+
+  const auto& cfg = p_.config();
+  const bool ship_rces = cfg.strategy != RollbackStrategy::basic &&
+                         !eos.has_mixed && eos.node != id_;
+  // Adaptive strategy (Sec. 4.4.1 "further optimizations"): the routing
+  // decision already kept the agent here because shipping the step's
+  // operation entries + weak-state snapshot is cheaper than transferring
+  // the agent to the resource node.
+  const bool ship_mixed = cfg.strategy == RollbackStrategy::adaptive &&
+                          eos.has_mixed && eos.node != id_;
+
+  auto comp_failed = [this, tx, rec](Status st) {
+    trace(TraceKind::comp_abort, st.to_string());
+    const auto attempts = ++attempts_[rec.record_id];
+    const auto max = p_.config().max_compensation_attempts;
+    if (max > 0 && attempts >= max) {
+      // Sec. 3.2: some compensations cannot succeed (e.g. the withdrawn
+      // deposit); surface the permanently failed rollback to the owner.
+      fail_agent(tx, rec,
+                 Status(Errc::compensation_failed,
+                        "compensation permanently failed: " + st.to_string()));
+      return;
+    }
+    txm_.abort_tx(tx);
+    busy_ = false;
+    retry_later(rec.record_id);
+  };
+
+  if (ship_mixed) {
+    // Ship the complete operation-entry list (mixed entries need both the
+    // resource and the weak agent state, so everything must execute in
+    // log order at one place — the resource node) together with a weak
+    // snapshot; merge the updated weak state back on acknowledgement.
+    ++p_.mixed_ships();
+    txm_.enlist_remote(tx, eos.node);
+    serial::Encoder enc;
+    enc.write_u64(tx.value());
+    enc.write_varint(ops.size());
+    for (const auto& op : ops) op.serialize(enc);
+    agent->data().weak_image().serialize(enc);
+    const auto wire_bytes = enc.size();
+    trace(TraceKind::mce_shipped,
+          std::to_string(ops.size()) + " OEs + weak state -> N" +
+              std::to_string(eos.node.value()) + " (" +
+              std::to_string(wire_bytes) + " bytes)");
+    p_.net().send(
+        net::Message{id_, eos.node, msg::mce_exec, std::move(enc).take()});
+    mce_waiters_[tx] = [this, tx, rec, agent,
+                        comp_failed](bool ok, serial::Value weak) {
+      if (!ok) {
+        comp_failed(Status(Errc::compensation_failed,
+                           "shipped mixed compensation failed"));
+        return;
+      }
+      *agent->data().weak_slots() = std::move(weak);
+      finish_compensation(tx, rec, agent);
+    };
+    if (cfg.stage_timeout_us > 0) {
+      const auto timeout =
+          cfg.stage_timeout_us +
+          4 * p_.net().transfer_time(id_, eos.node, wire_bytes);
+      after(timeout, [this, tx, comp_failed] {
+        auto it = mce_waiters_.find(tx);
+        if (it == mce_waiters_.end()) return;
+        mce_waiters_.erase(it);
+        comp_failed(Status(Errc::unreachable, "mce shipment unacknowledged"));
+      });
+    }
+    return;
+  }
+
+  if (!ship_rces) {
+    // Basic algorithm (Fig. 4b), or a mixed/step-local compensation in the
+    // optimized algorithm: everything runs here, sequentially. Sec. 4.3's
+    // fault-tolerant extension allows the EOS entry's alternative nodes.
+    if (cfg.strategy == RollbackStrategy::basic || eos.has_mixed) {
+      const bool allowed =
+          eos.node == id_ ||
+          cfg.strategy == RollbackStrategy::adaptive ||
+          std::find(eos.alternatives.begin(), eos.alternatives.end(), id_) !=
+              eos.alternatives.end();
+      MAR_CHECK_MSG(allowed,
+                    "compensation transaction routed to the wrong node");
+    }
+    Status st = Status::ok();
+    for (const auto& op : ops) {
+      st = run_comp_op(tx, op, agent->data().weak_slots());
+      if (!st.is_ok()) break;
+    }
+    const auto service =
+        static_cast<sim::TimeUs>(ops.size()) * cfg.comp_op_service_us;
+    after(service, [this, tx, rec, agent = std::move(agent), st,
+                    comp_failed] {
+      if (!st.is_ok()) {
+        comp_failed(st);
+        return;
+      }
+      finish_compensation(tx, rec, agent);
+    });
+    return;
+  }
+
+  // Optimized algorithm, no mixed entries (Fig. 5b): group the operation
+  // entries; ship the RCE list to the resource node; run the ACE list
+  // locally, concurrently with the shipped list.
+  std::vector<OperationEntry> aces;
+  std::vector<OperationEntry> rces;
+  for (auto& op : ops) {
+    MAR_CHECK_MSG(op.kind != OpEntryKind::mixed,
+                  "mixed entry in a step whose EOS mixed-flag is false");
+    (op.kind == OpEntryKind::agent ? aces : rces).push_back(std::move(op));
+  }
+
+  struct Join {
+    int pending = 0;
+    Status status;
+  };
+  auto join = std::make_shared<Join>();
+  auto arrived = [this, tx, rec, agent, join, comp_failed](Status st) {
+    if (!st.is_ok() && join->status.is_ok()) join->status = st;
+    if (--join->pending > 0) return;
+    if (!join->status.is_ok()) {
+      comp_failed(join->status);
+      return;
+    }
+    finish_compensation(tx, rec, agent);
+  };
+
+  if (!rces.empty()) {
+    ++join->pending;
+    txm_.enlist_remote(tx, eos.node);
+    serial::Encoder enc;
+    enc.write_u64(tx.value());
+    enc.write_varint(rces.size());
+    for (const auto& op : rces) op.serialize(enc);
+    const auto wire_bytes = enc.size();
+    trace(TraceKind::rce_shipped,
+          std::to_string(rces.size()) + " RCEs -> N" +
+              std::to_string(eos.node.value()) + " (" +
+              std::to_string(wire_bytes) + " bytes)");
+    p_.net().send(
+        net::Message{id_, eos.node, msg::rce_exec, std::move(enc).take()});
+    rce_waiters_[tx] = [arrived](bool ok) {
+      arrived(ok ? Status::ok()
+                 : Status(Errc::compensation_failed,
+                          "shipped resource compensation failed"));
+    };
+    if (cfg.stage_timeout_us > 0) {
+      const auto timeout =
+          cfg.stage_timeout_us +
+          4 * p_.net().transfer_time(id_, eos.node, wire_bytes);
+      after(timeout, [this, tx] {
+        auto it = rce_waiters_.find(tx);
+        if (it == rce_waiters_.end()) return;
+        auto cb = std::move(it->second);
+        rce_waiters_.erase(it);
+        cb(false);
+      });
+    }
+  }
+
+  // Agent compensation entries run locally, overlapping the shipped RCEs.
+  ++join->pending;
+  Status ace_status = Status::ok();
+  for (const auto& op : aces) {
+    ace_status = run_comp_op(tx, op, agent->data().weak_slots());
+    if (!ace_status.is_ok()) break;
+  }
+  const auto ace_service =
+      static_cast<sim::TimeUs>(aces.size()) * cfg.comp_op_service_us;
+  after(ace_service, [arrived, ace_status] { arrived(ace_status); });
+}
+
+void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
+                                      std::shared_ptr<Agent> agent) {
+  const SavepointId target = rec.rollback_target;
+  auto& log = agent->log();
+
+  // Dead trailing savepoints (inner sub-itineraries being rolled across)
+  // are dropped before the target check — see initiate_rollback.
+  while (!log.empty() && log.back().is_savepoint() &&
+         log.back().savepoint().id != target) {
+    (void)log.pop();
+  }
+
+  if (log.trailing_savepoint() == target) {
+    // Target reached: restore the strongly reversible objects from the
+    // savepoint entry (without deleting it) and start the next step.
+    restore_at_savepoint(*agent, target);
+    trace(TraceKind::rollback_done,
+          "agent " + std::to_string(rec.agent.value()) + " rolled back to SP_" +
+              std::to_string(target.value()) +
+              completion_suffix(rec.completion));
+    if (rec.completion == QueueRecord::Completion::cancel) {
+      // Multi-agent executions: a complete rollback that terminates the
+      // agent instead of resuming it.
+      finish_cancelled(tx, rec, *agent);
+      return;
+    }
+    if (rec.completion == QueueRecord::Completion::skip_sub &&
+        !apply_skip(*agent, target)) {
+      finish_agent(tx, rec, *agent);
+      return;
+    }
+    if (rec.completion == QueueRecord::Completion::next_alt) {
+      apply_next_alternative(*agent, target);
+    }
+    const StepEntry step = agent->itinerary().step_at(agent->position());
+    const auto attempt = attempts_[rec.record_id];
+    const NodeId dest = step.locations[attempt % step.locations.size()];
+    QueueRecord next_rec =
+        make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    if (dest != id_) {
+      trace(TraceKind::migrate,
+            "agent " + std::to_string(rec.agent.value()) + " -> N" +
+                std::to_string(dest.value()) + " (resume)");
+    }
+    stage_and_commit(tx, dest, std::move(next_rec),
+                     [this, rec](bool committed) {
+                       busy_ = false;
+                       if (committed) {
+                         trace(TraceKind::comp_commit, "CT committed");
+                         attempts_.erase(rec.record_id);
+                         pump();
+                       } else {
+                         trace(TraceKind::comp_abort,
+                               "commit failed (will retry)");
+                         ++attempts_[rec.record_id];
+                         retry_later(rec.record_id);
+                       }
+                     });
+    return;
+  }
+
+  // Not there yet: write the agent (and log) towards the next compensation
+  // transaction (Fig. 4b), or keep it local when the optimized algorithm
+  // can ship the next step's RCEs (Fig. 5b).
+  const auto dests = next_compensation_nodes(log, *agent, rec.payload.size());
+  if (dests.empty()) {
+    fail_agent(tx, rec,
+               Status(Errc::protocol_error,
+                      "target savepoint not reached but log is exhausted"));
+    return;
+  }
+  const auto attempt = attempts_[rec.record_id];
+  const NodeId dest = dests[attempt % dests.size()];
+  QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
+  comp_rec.completion = rec.completion;
+  if (dest != id_) {
+    ++p_.rollback_transfers();
+    trace(TraceKind::migrate,
+          "agent " + std::to_string(rec.agent.value()) + " -> N" +
+              std::to_string(dest.value()) + " (rollback, " +
+              std::to_string(comp_rec.payload.size()) + " bytes)");
+  }
+  stage_and_commit(tx, dest, std::move(comp_rec),
+                   [this, rec](bool committed) {
+                     busy_ = false;
+                     if (committed) {
+                       trace(TraceKind::comp_commit, "CT committed");
+                       attempts_.erase(rec.record_id);
+                       pump();
+                     } else {
+                       trace(TraceKind::comp_abort,
+                             "commit failed (will retry)");
+                       ++attempts_[rec.record_id];
+                       retry_later(rec.record_id);
+                     }
+                   });
+}
+
+bool NodeRuntime::apply_skip(Agent& agent, SavepointId target) {
+  const auto* sp = agent.log().find_savepoint(target);
+  MAR_CHECK(sp != nullptr);
+  MAR_CHECK_MSG(sp->origin == rollback::SavepointOrigin::sub_itinerary,
+                "abandon targets must be sub-itinerary savepoints");
+  // The abandoned sub-itinerary is the depth-long prefix of the position
+  // the savepoint would normally resume at.
+  MAR_CHECK(sp->depth > 0 && sp->depth < sp->resume_position.size());
+  const Position from = sp->resume_position;
+  const Position prefix(from.begin(),
+                        from.begin() + static_cast<long>(sp->depth));
+  const auto next = agent.itinerary().next_step(prefix);
+  trace(TraceKind::msg,
+        "abandoning sub-itinerary at depth " + std::to_string(sp->depth));
+  // Treat the abandoned sub-itinerary as exited: its savepoint entry is
+  // garbage-collected (or the whole log discarded for a top-level sub),
+  // and savepoints for newly entered sub-itineraries are established —
+  // the same bookkeeping as a normal step boundary (Sec. 4.4.2).
+  p_.advance_itinerary(id_, agent, from, next, {});
+  if (!next.has_value()) {
+    agent.set_run_state(Agent::RunState::done);
+    return false;
+  }
+  agent.set_position(*next);
+  return true;
+}
+
+void NodeRuntime::apply_next_alternative(Agent& agent, SavepointId target) {
+  const auto* sp = agent.log().find_savepoint(target);
+  MAR_CHECK(sp != nullptr);
+  MAR_CHECK_MSG(sp->depth >= 2, "alternative option savepoints sit at least "
+                                "two levels deep");
+  const Position from = sp->resume_position;
+  Position option(from.begin(), from.begin() + static_cast<long>(sp->depth));
+  MAR_CHECK(agent.itinerary().prefix_kind(option) ==
+            Itinerary::PrefixKind::alt_option);
+  Position next_option = option;
+  ++next_option.back();
+  MAR_CHECK_MSG(next_option.back() <
+                    agent.itinerary().alt_option_count(option),
+                "no alternative option left to enter");
+  const auto next = agent.itinerary().first_step_under(next_option);
+  MAR_CHECK_MSG(next.has_value(), "alternative option contains no steps");
+  trace(TraceKind::msg,
+        "entering alternative option " + std::to_string(next_option.back()));
+  // Exits the failed option (GC its savepoint) and enters the next one
+  // (fresh savepoint) — the alternatives entry itself stays active.
+  p_.advance_itinerary(id_, agent, from, next, {});
+  agent.set_position(*next);
+}
+
+void NodeRuntime::restore_at_savepoint(Agent& agent, SavepointId target) {
+  auto strong = agent.log().strong_state_at(target);
+  MAR_CHECK_MSG(strong.is_ok(), "cannot reconstruct strong state: "
+                                    << strong.status());
+  const auto* sp = agent.log().find_savepoint(target);
+  MAR_CHECK(sp != nullptr);
+  agent.data().restore_strong(strong.value());
+  agent.data().set_mode(DataSpace::Mode::normal);
+  agent.set_position(sp->resume_position);
+  agent.set_run_state(Agent::RunState::running);
+  // Savepoints established after the target died with the rollback.
+  auto& stack = agent.savepoint_stack();
+  std::erase_if(stack, [target](const SavepointStackEntry& e) {
+    return e.id.value() > target.value();
+  });
+  agent.set_last_savepoint_strong(strong.value());
+  agent.set_force_full_savepoint(false);
+  agent.note_rollback_completed();
+  trace(TraceKind::restore,
+        "strongly reversible objects restored from SP_" +
+            std::to_string(target.value()));
+}
+
+}  // namespace mar::agent

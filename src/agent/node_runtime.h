@@ -1,0 +1,200 @@
+// Per-node runtime: queue processing, step execution, rollback algorithms.
+//
+// Each node owns its stable storage (with the agent input queue), a
+// transactional queue manager and resource manager, and a transaction
+// manager. The runtime processes queue records one at a time:
+//
+//   execute records   -> the exactly-once step protocol: run the step in a
+//                        step transaction, append BOS/OE/EOS (+SP) entries
+//                        to the rollback log, stage the agent into the
+//                        next node's queue, commit (2PC when remote);
+//   compensate records-> one compensation transaction per hop of the
+//                        rollback algorithm (Fig. 4b basic / Fig. 5b
+//                        optimized), until the target savepoint is
+//                        reached and the strongly reversible objects are
+//                        restored.
+//
+// Any abort — lock conflict, crash, vote-no, timeout — leaves the record
+// in the queue; the runtime retries after a backoff, possibly routing to
+// an alternative node, which is exactly the restartability the paper's
+// correctness argument relies on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "agent/agent.h"
+#include "agent/platform.h"
+#include "agent/step_context.h"
+#include "resource/resource_manager.h"
+#include "storage/stable_storage.h"
+#include "tx/queue_manager.h"
+#include "tx/tx_manager.h"
+
+namespace mar::agent {
+
+/// Platform message type tags (beyond tx.*).
+namespace msg {
+inline constexpr const char* agent_stage = "agent.stage";
+inline constexpr const char* agent_stage_ack = "agent.stage_ack";
+inline constexpr const char* rce_exec = "rce.exec";
+inline constexpr const char* rce_ack = "rce.ack";
+/// Adaptive strategy (Sec. 4.4.1 "further optimizations"): a mixed step's
+/// operation entries plus a snapshot of the weakly reversible objects,
+/// shipped to the resource node instead of transferring the agent.
+inline constexpr const char* mce_exec = "mce.exec";
+inline constexpr const char* mce_ack = "mce.ack";
+}  // namespace msg
+
+class NodeRuntime {
+ public:
+  NodeRuntime(Platform& platform, NodeId id);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] storage::StableStorage& storage() { return storage_; }
+  [[nodiscard]] resource::ResourceManager& resources() { return rm_; }
+  [[nodiscard]] tx::TxManager& txm() { return txm_; }
+
+  /// Network handler entry point (registered by the Platform).
+  void handle_message(const net::Message& m);
+  /// Crash/recovery notification from the network.
+  void on_node_state(bool up);
+  /// Non-transactional initial placement of a freshly launched agent.
+  void enqueue_initial(storage::QueueRecord record);
+  /// Try to start processing the next queue record.
+  void pump();
+
+ private:
+  // --- queue processing ------------------------------------------------------
+  void process_front();
+  void execute_step(const storage::QueueRecord& rec);
+  void execute_compensation(const storage::QueueRecord& rec);
+  /// Route a freshly spawned child to its first step's node (multi-agent
+  /// executions: the spawn itself committed with the parent's step; this
+  /// record performs the initial transfer with the usual retry machinery).
+  void execute_launch(const storage::QueueRecord& rec);
+  /// A cancellation was requested for this agent: initiate a complete
+  /// rollback (to the oldest savepoint in its log) that terminates it, or
+  /// let it run on if the log no longer reaches back to launch.
+  void execute_cancel(const storage::QueueRecord& rec);
+  void initiate_cancel_rollback(const storage::QueueRecord& rec,
+                                SavepointId target);
+
+  // --- step machinery -----------------------------------------------------------
+  /// After the step body ran: append log entries, write savepoints,
+  /// advance the itinerary, route the agent, commit.
+  void complete_step(TxId tx, const storage::QueueRecord& rec,
+                     std::shared_ptr<Agent> agent, StepContext& ctx);
+  /// Begin the rollback towards `target` (Fig. 4a/5a). `completion`
+  /// chooses what happens when the savepoint is reached: resume,
+  /// abandon the sub-itinerary (Sec. 5), terminate as cancelled
+  /// (Sec. 6), or enter the next alternative (ref [14]).
+  void initiate_rollback(const storage::QueueRecord& rec, SavepointId target,
+                         storage::QueueRecord::Completion completion =
+                             storage::QueueRecord::Completion::resume);
+  /// Resolve a rollback request against the (pre-step) agent state.
+  [[nodiscard]] Result<SavepointId> resolve_rollback_target(
+      const Agent& agent, const RollbackRequest& request) const;
+  /// The target must be in the log and not poisoned by a
+  /// non-compensatable step (Sec. 3.2).
+  [[nodiscard]] Status check_rollback_target(const Agent& agent,
+                                             SavepointId target) const;
+  /// Where a permanent step failure lands (innermost first): the next
+  /// option of an enclosing alternatives entry (ref [14]), or the entry
+  /// savepoint of an enclosing non-vital sub-itinerary (Sec. 5) — or
+  /// nowhere (the agent fails).
+  struct FailurePlan {
+    SavepointId target;
+    storage::QueueRecord::Completion completion;
+  };
+  [[nodiscard]] std::optional<FailurePlan> failure_plan_for(
+      const Agent& agent) const;
+  /// Topmost savepoint-stack entry for nesting depth `depth`.
+  [[nodiscard]] static SavepointId savepoint_at_depth(const Agent& agent,
+                                                      std::uint32_t depth);
+  /// After restoring at an abandoned sub-itinerary's savepoint: advance
+  /// past the sub (GC its savepoint, handle top-level discard, establish
+  /// savepoints of newly entered subs). Returns false when no step follows
+  /// (the agent is done).
+  bool apply_skip(Agent& agent, SavepointId target);
+  /// After restoring at a failed alternatives option's savepoint: enter
+  /// the next option (ref [14] flexible itineraries).
+  void apply_next_alternative(Agent& agent, SavepointId target);
+
+  // --- compensation machinery ---------------------------------------------------
+  /// Execute one compensating operation locally within `tx`. `weak` is the
+  /// weakly-reversible slot map the operation may touch (the agent's own
+  /// map, or a shipped snapshot; null for pure resource entries).
+  Status run_comp_op(TxId tx, const rollback::OperationEntry& op,
+                     serial::Value* weak);
+  /// Finish a compensation transaction: target check, restore, routing.
+  void finish_compensation(TxId tx, const storage::QueueRecord& rec,
+                           std::shared_ptr<Agent> agent);
+  void restore_at_savepoint(Agent& agent, SavepointId target);
+  /// Destination of the next compensation transaction (Fig. 4a vs 5a).
+  /// `agent_bytes` is the serialized agent size the adaptive strategy
+  /// weighs against shipping the step's compensation objects.
+  [[nodiscard]] std::vector<NodeId> next_compensation_nodes(
+      const rollback::RollbackLog& log, const Agent& agent,
+      std::size_t agent_bytes) const;
+  /// Adaptive strategy decision (Sec. 4.4.1): is shipping the last step's
+  /// operation entries + weak-state snapshot to `dest` cheaper than
+  /// transferring the whole agent there?
+  [[nodiscard]] bool ship_mixed_is_cheaper(const rollback::RollbackLog& log,
+                                           const Agent& agent, NodeId dest,
+                                           std::size_t agent_bytes) const;
+
+  // --- transfer / commit plumbing -----------------------------------------------
+  /// Stage `record` into `dest`'s queue inside `tx`, then commit; `done`
+  /// gets the commit outcome. Remote staging waits for an ack with an
+  /// optional timeout (config.stage_timeout_us).
+  void stage_and_commit(TxId tx, NodeId dest, storage::QueueRecord record,
+                        std::function<void(bool)> done);
+  void retry_later(std::uint64_t record_id);
+  void fail_agent(TxId tx, const storage::QueueRecord& rec, Status status);
+  void finish_agent(TxId tx, const storage::QueueRecord& rec, Agent& agent);
+  /// Terminate a cancelled agent after its complete rollback (multi-agent
+  /// executions): record the `cancelled` outcome and notify the mailbox.
+  void finish_cancelled(TxId tx, const storage::QueueRecord& rec,
+                        Agent& agent);
+  /// Deliver an agent's result record to its result mailbox within `tx`
+  /// (locally or by transactional RPC), then run `done(ok)`.
+  void deliver_result(TxId tx, const Agent& agent, bool ok,
+                      const Status& error, std::function<void(bool)> done);
+
+  // --- small helpers ---------------------------------------------------------
+  void trace(TraceKind kind, std::string detail);
+  [[nodiscard]] std::unique_ptr<Agent> decode(const serial::Bytes& bytes)
+      const;
+  [[nodiscard]] storage::QueueRecord make_record(
+      const Agent& agent, storage::RecordKind kind,
+      SavepointId rollback_target);
+  /// Schedule `fn` after `delay`, cancelled automatically by crash.
+  void after(sim::TimeUs delay, std::function<void()> fn);
+
+  Platform& p_;
+  NodeId id_;
+  storage::StableStorage storage_;
+  tx::QueueManager qm_;
+  resource::ResourceManager rm_;
+  tx::TxManager txm_;
+
+  bool up_ = true;
+  bool busy_ = false;
+  std::uint64_t epoch_ = 0;
+  /// Per-record processing attempts (drives backoff + alternative nodes).
+  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  /// Continuations waiting for agent.stage_ack / rce.ack, keyed by tx.
+  std::unordered_map<TxId, std::function<void(bool)>> stage_waiters_;
+  std::unordered_map<TxId, std::function<void(bool)>> rce_waiters_;
+  /// Continuations waiting for mce.ack; receive the updated weak-state
+  /// snapshot produced by the remotely executed mixed compensation.
+  std::unordered_map<TxId, std::function<void(bool, serial::Value)>>
+      mce_waiters_;
+  /// Continuations waiting for a transactional RPC reply (ctr.result),
+  /// e.g. remote result delivery into a mailbox.
+  std::unordered_map<TxId, std::function<void(bool)>> rpc_waiters_;
+};
+
+}  // namespace mar::agent

@@ -1,0 +1,195 @@
+// The agent platform: a Mole-like distributed runtime over the simulated
+// network, implementing
+//
+//   * the exactly-once step execution protocol of ref [11] (stable input
+//     queues, step transactions, abort/restart, alternative nodes), and
+//   * the paper's partial-rollback mechanism, in both the basic (Fig. 4)
+//     and the optimized (Fig. 5) variant, integrated with hierarchical
+//     itineraries (Sec. 4.4.2).
+//
+// A Platform owns one NodeRuntime per node; agents are launched once and
+// then live exclusively in stable queue records, moving between nodes
+// inside distributed transactions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "agent/agent.h"
+#include "net/network.h"
+#include "rollback/comp_registry.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace mar::agent {
+
+class NodeRuntime;
+
+/// Which rollback algorithm the platform runs.
+enum class RollbackStrategy {
+  basic,      ///< Fig. 4: agent travels to every compensated step's node
+  optimized,  ///< Fig. 5: EOS mixed-flag, RCE shipping, ACE∥RCE overlap
+  /// Sec. 4.4.1 "further optimizations": like `optimized`, but for steps
+  /// WITH mixed compensation entries the platform consults the ref [16]
+  /// performance model and, when cheaper, keeps the agent where it is and
+  /// ships the step's operation entries together with a snapshot of the
+  /// weakly reversible objects to the resource node instead (the paper's
+  /// "resource compensation objects ... transferred" / RPC option). The
+  /// updated weak state returns with the acknowledgement and is merged
+  /// into the agent before the compensation transaction commits.
+  adaptive,
+};
+
+/// How strongly reversible objects are physically logged (Sec. 4.2).
+enum class LoggingMode { state, transition };
+
+struct PlatformConfig {
+  RollbackStrategy strategy = RollbackStrategy::optimized;
+  LoggingMode logging = LoggingMode::state;
+
+  /// Write savepoints automatically when entering sub-itineraries and
+  /// garbage-collect / discard per Sec. 4.4.2.
+  bool itinerary_savepoints = true;
+  bool gc_savepoints = true;
+  bool discard_log_on_top_level = true;
+
+  /// Simulated service time per resource operation within a step, and per
+  /// compensating operation (drives the concurrency experiment E3).
+  sim::TimeUs resource_op_service_us = 200;
+  sim::TimeUs comp_op_service_us = 500;
+
+  /// Backoff before retrying an aborted step/compensation transaction.
+  sim::TimeUs retry_backoff_us = 25'000;
+  /// Extra slack on top of the expected transfer time before an
+  /// unacknowledged remote stage / RCE shipment is abandoned and the
+  /// transaction retried (possibly on an alternative node). 0 disables
+  /// timeouts (wait for recovery forever).
+  sim::TimeUs stage_timeout_us = 2'000'000;
+  /// Abort the rollback (fail the agent) after this many failed attempts
+  /// of one compensation transaction; 0 = retry forever (the paper's
+  /// baseline assumption under transient faults).
+  std::uint32_t max_compensation_attempts = 0;
+};
+
+/// Terminal (or current) state of a launched agent.
+struct AgentOutcome {
+  enum class State { running, done, failed, cancelled };
+  State state = State::running;
+  Status status;
+  serial::Bytes final_agent;  ///< captured state at completion
+  NodeId final_node;
+  sim::TimeUs finished_at = 0;
+};
+
+class Platform {
+ public:
+  Platform(sim::Simulator& sim, net::Network& net, TraceSink& trace,
+           PlatformConfig config = {}, std::uint64_t seed = 42);
+  ~Platform();
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // --- world setup -----------------------------------------------------------
+  /// Create a node runtime and register it with the network.
+  NodeRuntime& add_node(NodeId id);
+  [[nodiscard]] NodeRuntime& node(NodeId id);
+  [[nodiscard]] AgentTypeRegistry& agent_types() { return agent_types_; }
+  [[nodiscard]] rollback::CompensationRegistry& compensations() {
+    return comp_registry_;
+  }
+
+  // --- agent lifecycle ---------------------------------------------------------
+  /// Validate the agent's (main) itinerary, assign an id, write the
+  /// initial savepoints and place the agent in its first node's queue.
+  Result<AgentId> launch(std::unique_ptr<Agent> agent);
+
+  // --- multi-agent executions (Sec. 6 future work) ----------------------------
+  /// Prepare a child agent spawned by `parent` during a step on `where`:
+  /// validate, assign an id, set the result target and write the initial
+  /// savepoints. The caller stages the launch record transactionally.
+  Result<AgentId> prepare_child(Agent& child, AgentId parent, NodeId where,
+                                NodeId result_node, std::string result_key);
+  /// Children spawned by `parent`, in spawn order (committed spawns only
+  /// are guaranteed to have run; see NodeRuntime::complete_step).
+  [[nodiscard]] std::vector<AgentId> children_of(AgentId parent) const;
+  /// Request eventual cancellation of a running agent: at its next step
+  /// boundary the platform rolls it back completely (to its oldest
+  /// savepoint — possible only while "the first sub-itinerary of the main
+  /// itinerary" executes, Sec. 4.4.2) and terminates it as `cancelled`.
+  void request_cancel(AgentId id);
+  [[nodiscard]] bool cancel_requested(AgentId id) const;
+  void clear_cancel(AgentId id);
+  /// The compensating operation behind spawn entries ("sys.cancel_child"):
+  /// cancel a running child, or re-inject an already finished one as a
+  /// compensating execution that rolls its committed effects back.
+  Status cancel_child(AgentId child);
+  /// Drop all bookkeeping for an agent whose spawn never committed.
+  void forget_agent(AgentId id);
+
+  [[nodiscard]] const AgentOutcome& outcome(AgentId id) const;
+  [[nodiscard]] bool finished(AgentId id) const;
+  /// Drive the simulation until the agent finishes (or events drain).
+  /// Returns true when the agent reached a terminal state.
+  bool run_until_finished(AgentId id);
+  /// Decode a captured agent (e.g. AgentOutcome::final_agent).
+  [[nodiscard]] std::unique_ptr<Agent> decode(
+      std::span<const std::uint8_t> bytes) const;
+
+  // --- services shared by node runtimes ---------------------------------------
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::Network& net() { return net_; }
+  [[nodiscard]] TraceSink& trace() { return trace_; }
+  [[nodiscard]] PlatformConfig& config() { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] std::uint64_t next_record_id() { return next_record_++; }
+  void record_outcome(AgentId id, AgentOutcome outcome);
+
+  /// Total count of agent migrations that were part of rollback processing
+  /// (compensation transfers), reported by experiment E2.
+  [[nodiscard]] std::uint64_t& rollback_transfers() {
+    return rollback_transfers_;
+  }
+  /// Mixed-compensation shipments performed instead of agent transfers by
+  /// the adaptive strategy (Sec. 4.4.1 "further optimizations"), reported
+  /// by experiment A2.
+  [[nodiscard]] std::uint64_t& mixed_ships() { return mixed_ships_; }
+
+  // --- savepoint / itinerary integration (Sec. 4.4.2) -------------------------
+  /// Append a savepoint entry (plus stack entry) to the agent's log,
+  /// honouring the configured logging mode and the lightweight-savepoint
+  /// rule. `where` is the node attributed in the trace.
+  void append_savepoint(NodeId where, Agent& agent, SavepointId id,
+                        rollback::SavepointOrigin origin, std::uint32_t depth,
+                        Position resume);
+  /// Process the itinerary movement `from` -> `to` at a step boundary:
+  /// GC savepoints of completed sub-itineraries, discard the log at
+  /// top-level completions, write ad-hoc and entered-sub savepoints.
+  void advance_itinerary(NodeId where, Agent& agent, const Position& from,
+                         const std::optional<Position>& to,
+                         const std::vector<SavepointId>& adhoc);
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  TraceSink& trace_;
+  PlatformConfig config_;
+  Rng rng_;
+  AgentTypeRegistry agent_types_;
+  rollback::CompensationRegistry comp_registry_;
+  std::map<NodeId, std::unique_ptr<NodeRuntime>> nodes_;
+  std::unordered_map<AgentId, AgentOutcome> outcomes_;
+  std::unordered_map<AgentId, std::vector<AgentId>> children_;
+  std::unordered_set<AgentId> cancel_requested_;
+  std::uint64_t next_agent_ = 1;
+  std::uint64_t next_record_ = 1;
+  std::uint64_t rollback_transfers_ = 0;
+  std::uint64_t mixed_ships_ = 0;
+};
+
+}  // namespace mar::agent

@@ -1,0 +1,94 @@
+#include "agent/step_context.h"
+
+#include "util/check.h"
+
+namespace mar::agent {
+
+Result<serial::Value> StepContext::invoke(const std::string& resource,
+                                          std::string_view op,
+                                          const serial::Value& params) {
+  ++invokes_;
+  auto result = rm_.invoke(tx_, resource, op, params);
+  if (!result.is_ok()) {
+    const auto code = result.code();
+    if (code == Errc::lock_conflict || code == Errc::tx_aborted) {
+      // The step transaction cannot proceed; the platform aborts and
+      // restarts the step (Sec. 2).
+      fatal_ = true;
+      fatal_status_ = result.status();
+    }
+  }
+  return result;
+}
+
+void StepContext::log_resource_compensation(const std::string& resource,
+                                            std::string comp_op,
+                                            serial::Value params) {
+  ops_.push_back(rollback::OperationEntry{
+      rollback::OpEntryKind::resource, std::move(comp_op), std::move(params),
+      node_, resource});
+}
+
+void StepContext::log_agent_compensation(std::string comp_op,
+                                         serial::Value params) {
+  ops_.push_back(rollback::OperationEntry{rollback::OpEntryKind::agent,
+                                          std::move(comp_op),
+                                          std::move(params), NodeId::invalid(),
+                                          std::string{}});
+}
+
+void StepContext::log_mixed_compensation(const std::string& resource,
+                                         std::string comp_op,
+                                         serial::Value params) {
+  ops_.push_back(rollback::OperationEntry{
+      rollback::OpEntryKind::mixed, std::move(comp_op), std::move(params),
+      node_, resource});
+}
+
+SavepointId StepContext::establish_savepoint() {
+  const auto id = agent_.allocate_savepoint_id();
+  savepoints_.push_back(id);
+  return id;
+}
+
+void StepContext::request_rollback(SavepointId target) {
+  rollback_ = RollbackRequest{target};
+}
+
+void StepContext::request_rollback_sub_itinerary(std::uint32_t levels_up) {
+  rollback_ = RollbackRequest{levels_up};
+}
+
+void StepContext::request_abandon_sub_itinerary(std::uint32_t levels_up) {
+  rollback_ = RollbackRequest{levels_up, /*skip=*/true};
+}
+
+void StepContext::fail_step(Status status) {
+  permanent_fail_ = true;
+  permanent_status_ = std::move(status);
+}
+
+void StepContext::retry_step(Status reason) {
+  fatal_ = true;
+  fatal_status_ = std::move(reason);
+}
+
+void StepContext::spawn_child(std::unique_ptr<Agent> child,
+                              NodeId result_node, std::string result_key) {
+  MAR_CHECK(child != nullptr);
+  spawns_.push_back(
+      SpawnRequest{std::move(child), result_node, std::move(result_key)});
+}
+
+Result<serial::Value> StepContext::join_child(const std::string& key) {
+  serial::Value params = serial::Value::empty_map();
+  params.set("key", key);
+  auto r = invoke("mailbox", "take", params);
+  if (!r.is_ok() && r.code() == Errc::not_found) {
+    // The child has not delivered yet: park the step and retry.
+    retry_step(Status(Errc::not_found, "child result not yet delivered"));
+  }
+  return r;
+}
+
+}  // namespace mar::agent

@@ -1,0 +1,176 @@
+// StepContext: the API surface a step's code programs against.
+//
+// Within a step transaction the agent can (Sec. 2, Sec. 4):
+//   * invoke operations on the node's local resources;
+//   * log compensating operations for those effects, typed per Sec. 4.4.1
+//     (resource / agent / mixed compensation entries);
+//   * establish an agent savepoint, to be written at the end of the step;
+//   * request a partial rollback — the platform then aborts the step
+//     transaction and runs the rollback algorithm (Fig. 4a / 5a);
+//   * mark the step non-compensatable (Sec. 3.2), poisoning rollback
+//     across it.
+//
+// Resource errors are returned, not thrown: a lock conflict or transaction
+// abort marks the step fatally failed, and the platform restarts it later
+// (the exactly-once protocol's abort/restart path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "agent/agent.h"
+#include "resource/resource_manager.h"
+#include "rollback/log.h"
+#include "serial/value.h"
+#include "util/ids.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mar::agent {
+
+/// A pending rollback request: either an explicit savepoint id or a
+/// sub-itinerary level (0 = current sub-itinerary, 1 = enclosing, ...).
+/// With `skip` set, the targeted sub-itinerary is *abandoned*: after the
+/// rollback reaches its entry savepoint, execution resumes at the step
+/// AFTER the sub-itinerary instead of retrying it (the non-vital-sub-saga
+/// semantics of Sec. 5).
+struct RollbackRequest {
+  std::variant<SavepointId, std::uint32_t> target;
+  bool skip = false;
+};
+
+/// A child-agent spawn requested during a step (multi-agent executions,
+/// the paper's Sec. 6 future work). Staged atomically with the step
+/// commit; rolled back by the automatically logged "sys.cancel_child"
+/// compensating entry.
+struct SpawnRequest {
+  std::unique_ptr<Agent> child;
+  NodeId result_node;      ///< where the child's result mailbox lives
+  std::string result_key;  ///< mailbox key; empty = fire-and-forget
+};
+
+class StepContext {
+ public:
+  StepContext(NodeId node, std::uint64_t now_us, TxId tx, Agent& agent,
+              resource::ResourceManager& rm, Rng& rng)
+      : node_(node), now_us_(now_us), tx_(tx), agent_(agent), rm_(rm),
+        rng_(rng) {}
+
+  // --- environment -----------------------------------------------------------
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+  [[nodiscard]] DataSpace& data() { return agent_.data(); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const Agent& agent() const { return agent_; }
+
+  // --- resource access --------------------------------------------------------
+  /// Invoke an operation on a local resource within the step transaction.
+  Result<serial::Value> invoke(const std::string& resource,
+                               std::string_view op,
+                               const serial::Value& params);
+
+  // --- compensation logging (Sec. 4.4.1 operation-entry types) ---------------
+  /// Log a resource compensation entry: `comp_op` will run on THIS node
+  /// against `resource`, with `params` as its only information source.
+  void log_resource_compensation(const std::string& resource,
+                                 std::string comp_op, serial::Value params);
+  /// Log an agent compensation entry: `comp_op` runs wherever the agent
+  /// is, touching only weakly reversible objects.
+  void log_agent_compensation(std::string comp_op, serial::Value params);
+  /// Log a mixed compensation entry: needs the agent AND `resource` on
+  /// this node; forces an agent transfer during rollback.
+  void log_mixed_compensation(const std::string& resource,
+                              std::string comp_op, serial::Value params);
+  /// Declare this step non-compensatable (Sec. 3.2): after commit, no
+  /// rollback may cross it.
+  void mark_not_compensatable() { not_compensatable_ = true; }
+
+  // --- savepoints and rollback -------------------------------------------------
+  /// Establish an agent savepoint at the end of this step (Sec. 2).
+  /// Returns its id, usable in later request_rollback calls.
+  SavepointId establish_savepoint();
+  /// Request rollback to an explicit savepoint.
+  void request_rollback(SavepointId target);
+  /// Request rollback of the current sub-itinerary (Sec. 4.4.2), or an
+  /// enclosing one (`levels_up` > 0).
+  void request_rollback_sub_itinerary(std::uint32_t levels_up = 0);
+  /// Roll back the current (or an enclosing) sub-itinerary and ABANDON it:
+  /// resume forward execution at the step following the sub-itinerary.
+  /// This is the application-facing half of the non-vital-sub mechanism.
+  void request_abandon_sub_itinerary(std::uint32_t levels_up = 0);
+  /// Declare this step permanently failed (retrying cannot help — e.g.
+  /// missing permissions, Sec. 1). The platform abandons the innermost
+  /// enclosing non-vital sub-itinerary, or fails the agent if every
+  /// enclosing sub-itinerary is vital.
+  void fail_step(Status status);
+  /// Abort this step transaction and have the platform restart it after a
+  /// backoff (e.g. waiting for a child's result to arrive). All step
+  /// effects so far are undone by the abort; the step re-executes from
+  /// the top, which is exactly the exactly-once protocol's restart path.
+  void retry_step(Status reason);
+
+  // --- multi-agent executions (Sec. 6 future work) ----------------------------
+  /// Spawn a child agent: its launch is staged atomically with this step's
+  /// commit (exactly-once spawn) and a "sys.cancel_child" compensating
+  /// entry is logged automatically, so rolling this step back cancels the
+  /// child (or compensates it, if it already finished). When `result_key`
+  /// is non-empty, the platform delivers the child's result — the weak
+  /// "result" slot if declared, else its whole weak image — to the
+  /// mailbox resource on `result_node` within the child's final step
+  /// transaction.
+  void spawn_child(std::unique_ptr<Agent> child,
+                   NodeId result_node = NodeId::invalid(),
+                   std::string result_key = {});
+  /// Join helper: take the child result stored under `key` from this
+  /// node's mailbox. Not yet there -> the step retries later (retry_step).
+  Result<serial::Value> join_child(const std::string& key);
+
+  // --- platform-side accessors -------------------------------------------------
+  [[nodiscard]] const std::vector<rollback::OperationEntry>& logged_ops()
+      const {
+    return ops_;
+  }
+  [[nodiscard]] const std::vector<SavepointId>& requested_savepoints() const {
+    return savepoints_;
+  }
+  [[nodiscard]] const std::optional<RollbackRequest>& rollback_request()
+      const {
+    return rollback_;
+  }
+  [[nodiscard]] std::vector<SpawnRequest>& spawns() { return spawns_; }
+  [[nodiscard]] bool fatal() const { return fatal_; }
+  [[nodiscard]] Status fatal_status() const { return fatal_status_; }
+  [[nodiscard]] bool failed_permanently() const { return permanent_fail_; }
+  [[nodiscard]] const Status& permanent_status() const {
+    return permanent_status_;
+  }
+  [[nodiscard]] bool not_compensatable() const { return not_compensatable_; }
+  [[nodiscard]] std::uint32_t resource_ops_invoked() const {
+    return invokes_;
+  }
+
+ private:
+  NodeId node_;
+  std::uint64_t now_us_;
+  TxId tx_;
+  Agent& agent_;
+  resource::ResourceManager& rm_;
+  Rng& rng_;
+
+  std::vector<rollback::OperationEntry> ops_;
+  std::vector<SpawnRequest> spawns_;
+  std::vector<SavepointId> savepoints_;
+  std::optional<RollbackRequest> rollback_;
+  bool fatal_ = false;
+  Status fatal_status_;
+  bool permanent_fail_ = false;
+  Status permanent_status_;
+  bool not_compensatable_ = false;
+  std::uint32_t invokes_ = 0;
+};
+
+}  // namespace mar::agent

@@ -1,0 +1,86 @@
+#include "compensation/history.h"
+
+namespace mar::compensation {
+
+History History::then(const History& other) const {
+  History out(*this);
+  out.ops_.insert(out.ops_.end(), other.ops_.begin(), other.ops_.end());
+  return out;
+}
+
+History History::reversed() const {
+  History out;
+  out.ops_.assign(ops_.rbegin(), ops_.rend());
+  return out;
+}
+
+State History::apply(State s) const {
+  for (const auto& op : ops_) s = op(s);
+  return s;
+}
+
+std::string History::to_string() const {
+  std::string s = "<";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += ops_[i].name;
+  }
+  s += ">";
+  return s;
+}
+
+bool equivalent(const History& x, const History& y,
+                std::span<const State> samples) {
+  for (const auto& s : samples) {
+    if (x.apply(s) != y.apply(s)) return false;
+  }
+  return true;
+}
+
+bool commute(const Operation& f, const Operation& g,
+             std::span<const State> samples) {
+  for (const auto& s : samples) {
+    if (g(f(s)) != f(g(s))) return false;
+  }
+  return true;
+}
+
+bool commute(const History& x, const History& y,
+             std::span<const State> samples) {
+  return equivalent(x.then(y), y.then(x), samples);
+}
+
+bool sound(const History& executed, const History& dep_only,
+           const State& initial) {
+  return executed.apply(initial) == dep_only.apply(initial);
+}
+
+bool compensation_commutes_with_dependents(const History& ct,
+                                           const History& dep,
+                                           std::span<const State> samples) {
+  for (const auto& c : ct.ops()) {
+    for (const auto& d : dep.ops()) {
+      if (!commute(c, d, samples)) return false;
+    }
+  }
+  return true;
+}
+
+CompensationClass classify(
+    const Operation& t, const Operation& ct, std::span<const State> samples,
+    const std::function<bool(const State&, const State&)>& equiv,
+    const std::function<bool(const State&)>& ct_applicable) {
+  bool all_identity = true;
+  for (const auto& s : samples) {
+    const State after_t = t(s);
+    if (!ct_applicable(after_t)) return CompensationClass::may_fail;
+    const State round_trip = ct(after_t);
+    if (round_trip == s) continue;
+    all_identity = false;
+    if (!equiv(round_trip, s)) return CompensationClass::not_compensatable;
+  }
+  return all_identity ? CompensationClass::identity
+                      : CompensationClass::state_equivalent;
+}
+
+}  // namespace mar::compensation

@@ -1,0 +1,115 @@
+// Formal model of compensation (paper Sec. 3, following Korth et al. [8]).
+//
+// Operations are functions over the *augmented state* — the resource state
+// space merged with the agent's private data space — and a history is both
+// a sequence of operations and the state-to-state function the sequence
+// composes (X = f1 • f2 • ... • fn). Two histories are equal iff they map
+// every state to the same state; since the state space is unbounded, the
+// checkers here evaluate equality over caller-supplied sample states,
+// which is exact for the finite scenarios the tests construct and a sound
+// falsifier in general (a counterexample proves non-equivalence).
+//
+// The module provides the paper's Sec. 3.1 definitions — history equality,
+// commutation — and the Sec. 3.2 soundness criterion: the history X of
+// T, CT and dep(T) is *sound* iff X(S) = Y(S) where Y is the history of
+// dep(T) alone. It also checks the sufficient condition the paper cites:
+// if CT's operations commute with every operation of dep(T), the history
+// is sound. Note that soundness implies T • CT ≡ I on the touched states.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serial/value.h"
+
+namespace mar::compensation {
+
+/// The augmented state: a structured value (by convention a map with a
+/// "resources" and an "agent" subtree, but the formalism does not care).
+using State = serial::Value;
+
+/// An operation f mapping augmented states to augmented states. Operations
+/// may read and write any number of entities of the augmented state.
+struct Operation {
+  std::string name;
+  std::function<State(const State&)> fn;
+
+  [[nodiscard]] State operator()(const State& s) const { return fn(s); }
+};
+
+/// A history: a total order of operations *and* the composed function.
+class History {
+ public:
+  History() = default;
+  History(std::initializer_list<Operation> ops) : ops_(ops) {}
+  explicit History(std::vector<Operation> ops) : ops_(std::move(ops)) {}
+
+  void append(Operation op) { ops_.push_back(std::move(op)); }
+  /// Concatenation: *this followed by `other` (X • Y).
+  [[nodiscard]] History then(const History& other) const;
+  /// The reversal of the sequence (used to build compensation order).
+  [[nodiscard]] History reversed() const;
+
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+  /// Apply the composed function to a state.
+  [[nodiscard]] State apply(State s) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Operation> ops_;
+};
+
+/// X ≡ Y over the given sample states: X(S) = Y(S) for every sample.
+[[nodiscard]] bool equivalent(const History& x, const History& y,
+                              std::span<const State> samples);
+
+/// Two operations commute iff (f • g) ≡ (g • f) over the samples.
+[[nodiscard]] bool commute(const Operation& f, const Operation& g,
+                           std::span<const State> samples);
+
+/// Two histories commute iff (X • Y) ≡ (Y • X) over the samples.
+[[nodiscard]] bool commute(const History& x, const History& y,
+                           std::span<const State> samples);
+
+/// Sec. 3.2 soundness: `executed` is the actually executed history of
+/// T, CT and dep(T) (any interleaving consistent with T < CT); it is sound
+/// iff it maps `initial` to the same state as executing dep(T) alone.
+[[nodiscard]] bool sound(const History& executed, const History& dep_only,
+                         const State& initial);
+
+/// The paper's sufficient condition: if every operation of CT commutes
+/// with every operation of dep(T) (over the samples), then the history of
+/// T, CT, dep(T) is sound. Checking the condition, not the conclusion.
+[[nodiscard]] bool compensation_commutes_with_dependents(
+    const History& ct, const History& dep, std::span<const State> samples);
+
+/// Classification of a compensating operation for a given forward
+/// operation, over sample states (Sec. 3.2's taxonomy).
+enum class CompensationClass {
+  /// T • CT ≡ I on all samples (perfect undo; enables sound histories).
+  identity,
+  /// T • CT produces a state *equivalent but not equal* under the supplied
+  /// equivalence predicate (e.g. same cash value, new serial numbers).
+  state_equivalent,
+  /// CT fails on at least one sample reachable after T (e.g. overdraft).
+  may_fail,
+  /// T • CT yields a state that is not even application-equivalent to the
+  /// initial one: the operation cannot be compensated (Sec. 3.2's final
+  /// category; such a step must not be rolled back after commit).
+  not_compensatable,
+};
+
+/// Classify CT relative to T. `equiv` decides application-level
+/// equivalence; `fails` reports whether CT is inapplicable in a state.
+[[nodiscard]] CompensationClass classify(
+    const Operation& t, const Operation& ct, std::span<const State> samples,
+    const std::function<bool(const State&, const State&)>& equiv,
+    const std::function<bool(const State&)>& ct_applicable);
+
+}  // namespace mar::compensation

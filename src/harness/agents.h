@@ -1,0 +1,77 @@
+// Reusable test agent exercising every compensation-entry type.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "agent/agent.h"
+#include "agent/platform.h"
+#include "agent/step_context.h"
+
+namespace mar::harness {
+
+/// A configurable agent whose steps cover the paper's scenarios:
+///
+///   collect    directory lookup -> strongly reversible "results" list
+///              (no compensating operations at all)
+///   noop       only bumps the visit counter
+///   spend_cash weak "cash" -= 25, agent compensation entry only
+///   withdraw   bank withdraw 100 -> cash; RCE (deposit back) + ACEs
+///   deposit    bank deposit 50 from cash; RCE (withdraw back, may fail!)
+///   fund       mint issues 5x20 USD coins into weak "wallet" (MCE undo)
+///   exchange   wallet USD -> EUR at the local exchange (MCE undo — the
+///              paper's Sec. 4.4.1 mixed-compensation example)
+///   buy        shop purchase paid from cash (MCE cancel w/ fee policy)
+///   savepoint  establishes an ad-hoc savepoint, id stored in weak
+///              "last_sp"
+///   poison     marks the step non-compensatable (Sec. 3.2)
+///
+/// Every step first increments weak "visits". A rollback trigger can be
+/// configured in the weak "trigger" map: {step, at, mode, levels|sp}:
+/// when executing step `step` with visits == `at`, it requests a rollback
+/// (mode "sub": current/enclosing sub-itinerary; "abandon": roll back AND
+/// skip the sub-itinerary; "fail": declare the step permanently failed —
+/// the platform abandons the innermost non-vital sub or fails the agent;
+/// "last_sp": the ad-hoc savepoint stored in "last_sp"; "explicit":
+/// savepoint id `sp`).
+class WorkloadAgent final : public agent::Agent {
+ public:
+  WorkloadAgent();
+
+  [[nodiscard]] std::string type_name() const override { return "workload"; }
+  void run_step(const std::string& step, agent::StepContext& ctx) override;
+
+  // Convenience accessors for assertions.
+  [[nodiscard]] std::int64_t visits() const {
+    return data().weak("visits").as_int();
+  }
+  [[nodiscard]] std::int64_t cash() const {
+    return data().weak("cash").as_int();
+  }
+  [[nodiscard]] const serial::Value& results() const {
+    return data().strong("results");
+  }
+  [[nodiscard]] const serial::Value& wallet() const {
+    return data().weak("wallet");
+  }
+
+  /// Configure the rollback trigger (see class comment).
+  void set_trigger(const std::string& step, std::int64_t at_visit,
+                   const std::string& mode, std::int64_t arg = 0);
+
+  /// Extra integer knobs read by the parameterized bench steps
+  /// ("param_bytes" for touch_* undo payloads, "strong_bytes" for
+  /// grow_strong). Call after set_trigger (shares the same config map).
+  void set_config(const std::string& key, std::int64_t value) {
+    data().weak("trigger").set(key, value);
+  }
+
+ private:
+  void maybe_trigger(const std::string& step, agent::StepContext& ctx);
+};
+
+/// Register the workload agent type and all its compensating operations
+/// with a platform. Safe to call once per Platform instance.
+void register_workload(agent::Platform& platform);
+
+}  // namespace mar::harness

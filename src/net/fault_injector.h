@@ -1,0 +1,50 @@
+// Fault injection: transient node crashes and link outages.
+//
+// The rollback mechanism's liveness claim (Sec. 4.3) is conditioned on
+// "node crashes and network crashes are only temporary" plus reliable data
+// transfer. The injector produces exactly that fault model, either from an
+// explicit schedule (tests reproducing a scenario) or as a seeded Poisson
+// process (experiment E6 sweeps crash rate and outage duration).
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace mar::net {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, Network& net) : sim_(sim), net_(net) {}
+
+  /// Crash `node` at absolute time `at` and recover it `downtime` later.
+  void crash_at(NodeId node, sim::TimeUs at, sim::TimeUs downtime);
+
+  /// Take the (a, b) link down at `at` for `duration`.
+  void link_down_at(NodeId a, NodeId b, sim::TimeUs at, sim::TimeUs duration);
+
+  /// Parameters for a random transient-crash process.
+  struct CrashPlan {
+    double mean_time_between_crashes_us = 5e6;  ///< per node
+    double mean_downtime_us = 200'000;
+    sim::TimeUs horizon_us = 60'000'000;  ///< stop injecting after this time
+  };
+
+  /// Schedule an independent Poisson crash/recover process on every node in
+  /// `nodes`, deterministic in `rng`. Crashes never overlap per node and
+  /// are always followed by recovery (the transient-fault assumption).
+  void random_crashes(const std::vector<NodeId>& nodes, Rng& rng,
+                      const CrashPlan& plan);
+
+  [[nodiscard]] std::uint64_t crashes_injected() const { return crashes_; }
+
+ private:
+  sim::Simulator& sim_;
+  Network& net_;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace mar::net

@@ -1,0 +1,54 @@
+#include "perfmodel/perfmodel.h"
+
+namespace mar::perfmodel {
+
+namespace {
+double transfer_us(const NetworkParams& net, double bytes) {
+  return net.latency_us + bytes / net.bytes_per_us;
+}
+}  // namespace
+
+double rpc_time_us(const NetworkParams& net, const TaskParams& task) {
+  const double per_interaction = transfer_us(net, task.request_bytes) +
+                                 task.server_time_us +
+                                 transfer_us(net, task.reply_bytes);
+  return static_cast<double>(task.interactions) * per_interaction;
+}
+
+double migration_time_us(const NetworkParams& net, const TaskParams& task) {
+  // Outbound: agent (code + state + rollback log) moves to the server.
+  double t = transfer_us(net, task.agent_bytes);
+  // Local interactions: only service time, no network.
+  t += static_cast<double>(task.interactions) * task.server_time_us;
+  // Return (or onward) trip: agent plus the filtered result set.
+  if (task.return_trip) {
+    t += transfer_us(net,
+                     task.agent_bytes + task.selectivity * task.result_bytes);
+  }
+  return t;
+}
+
+Strategy choose(const NetworkParams& net, const TaskParams& task) {
+  return migration_time_us(net, task) < rpc_time_us(net, task)
+             ? Strategy::migrate
+             : Strategy::rpc;
+}
+
+double crossover_interactions(const NetworkParams& net, TaskParams task) {
+  // rpc_time is linear in n with slope `per_interaction`; migration time
+  // is constant in n up to the fixed transfer overhead plus n * service.
+  const double rpc_slope = transfer_us(net, task.request_bytes) +
+                           task.server_time_us +
+                           transfer_us(net, task.reply_bytes);
+  const double mig_slope = task.server_time_us;
+  double fixed = transfer_us(net, task.agent_bytes);
+  if (task.return_trip) {
+    fixed += transfer_us(net, task.agent_bytes +
+                                  task.selectivity * task.result_bytes);
+  }
+  const double denom = rpc_slope - mig_slope;
+  if (denom <= 0) return -1.0;  // RPC never loses
+  return fixed / denom;
+}
+
+}  // namespace mar::perfmodel

@@ -1,0 +1,63 @@
+// Performance model for RPC-vs-migration decisions.
+//
+// Section 4.4.1 ("Further optimizations") notes that if compensating
+// operations can reach resources by RPC, "a performance model similar to
+// that introduced in [16] can be used to determine if the agent or the
+// resource compensation objects should be transferred to the node where
+// the resources reside or if RPC should be used". This module implements
+// that model (Straßer & Schwehm, PDPTA'97): communication cost is
+// per-message latency plus size over throughput; an agent migration ships
+// code+state+rollback-log once and interacts locally, RPC pays the round
+// trip per interaction.
+//
+// Experiment E7 sweeps the parameter space and compares the model's
+// decision with simulated actuals from the network substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace mar::perfmodel {
+
+/// Network characteristics between the client (agent's current node) and
+/// the server (resource node).
+struct NetworkParams {
+  double latency_us = 500;        ///< one-way message latency
+  double bytes_per_us = 1.25;     ///< link throughput (10 Mbit/s default)
+};
+
+/// One remote task: a series of request/reply interactions with a
+/// resource, performed either by RPC or by migrating the agent.
+struct TaskParams {
+  std::int64_t interactions = 1;   ///< number of request/reply pairs
+  double request_bytes = 128;      ///< per-interaction request size
+  double reply_bytes = 1024;       ///< per-interaction reply size
+  double agent_bytes = 4096;       ///< serialized agent incl. rollback log
+  double result_bytes = 0;         ///< data the agent accumulates remotely
+  double selectivity = 1.0;        ///< fraction of results carried back
+  double server_time_us = 100;     ///< per-interaction service time
+  bool return_trip = true;         ///< agent must come back afterwards
+};
+
+/// Total time to perform the task via per-interaction RPC.
+[[nodiscard]] double rpc_time_us(const NetworkParams& net,
+                                 const TaskParams& task);
+
+/// Total time to perform the task by migrating the agent to the resource
+/// node, interacting locally (zero network cost), and optionally moving on
+/// or back with the (filtered) results in its state.
+[[nodiscard]] double migration_time_us(const NetworkParams& net,
+                                       const TaskParams& task);
+
+enum class Strategy { rpc, migrate };
+
+/// The cheaper strategy under the model.
+[[nodiscard]] Strategy choose(const NetworkParams& net,
+                              const TaskParams& task);
+
+/// Interactions at which the two strategies cost the same (the crossover
+/// the paper's ref [16] reports); computed by the model, < 0 when
+/// migration never pays off.
+[[nodiscard]] double crossover_interactions(const NetworkParams& net,
+                                            TaskParams task);
+
+}  // namespace mar::perfmodel

@@ -1,0 +1,86 @@
+#include "resource/bank.h"
+
+namespace mar::resource {
+
+Value Bank::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("accounts", Value::empty_map());
+  return state;
+}
+
+std::int64_t Bank::balance_in(const Value& state, const std::string& account) {
+  return state.at("accounts").at(account).at("balance").as_int();
+}
+
+Result<Value> Bank::invoke(std::string_view op, const Value& params,
+                           Value& state) {
+  Value& accounts = state.as_map().at("accounts");
+
+  auto find_account = [&](const std::string& id) -> Value* {
+    auto it = accounts.as_map().find(id);
+    return it == accounts.as_map().end() ? nullptr : &it->second;
+  };
+
+  if (op == "open") {
+    const auto& id = params.at("account").as_string();
+    if (find_account(id) != nullptr) {
+      return Status(Errc::rejected, "account exists: " + id);
+    }
+    Value acc = Value::empty_map();
+    acc.set("balance", std::int64_t{0});
+    acc.set("overdraft", params.get_or("overdraft", false));
+    accounts.set(id, std::move(acc));
+    return Value::empty_map();
+  }
+
+  if (op == "deposit" || op == "withdraw") {
+    const auto& id = params.at("account").as_string();
+    const auto amount = params.at("amount").as_int();
+    if (amount < 0) return Status(Errc::rejected, "negative amount");
+    Value* acc = find_account(id);
+    if (acc == nullptr) return Status(Errc::not_found, "no account " + id);
+    auto balance = acc->at("balance").as_int();
+    if (op == "deposit") {
+      balance += amount;
+    } else {
+      if (balance < amount && !acc->at("overdraft").as_bool()) {
+        // Sec. 3.2: the compensation of a deposit is a withdraw that may
+        // fail if the money has been taken in the meantime.
+        return Status(Errc::rejected, "insufficient funds in " + id);
+      }
+      balance -= amount;
+    }
+    acc->set("balance", balance);
+    Value result = Value::empty_map();
+    result.set("balance", balance);
+    return result;
+  }
+
+  if (op == "transfer") {
+    const auto& from = params.at("from").as_string();
+    const auto& to = params.at("to").as_string();
+    const auto amount = params.at("amount").as_int();
+    Value wp = Value::empty_map();
+    wp.set("account", from);
+    wp.set("amount", amount);
+    auto w = invoke("withdraw", wp, state);
+    if (!w.is_ok()) return w.status();
+    Value dp = Value::empty_map();
+    dp.set("account", to);
+    dp.set("amount", amount);
+    return invoke("deposit", dp, state);
+  }
+
+  if (op == "balance") {
+    const auto& id = params.at("account").as_string();
+    Value* acc = find_account(id);
+    if (acc == nullptr) return Status(Errc::not_found, "no account " + id);
+    Value result = Value::empty_map();
+    result.set("balance", acc->at("balance").as_int());
+    return result;
+  }
+
+  return Status(Errc::rejected, "bank: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

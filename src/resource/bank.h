@@ -1,0 +1,34 @@
+// Bank resource: accounts with deposit / withdraw / transfer.
+//
+// This is the running example of the paper's Sec. 3: deposit(x) and
+// withdraw(x) commute on an overdraftable account (sound compensation),
+// but withdraw on a non-overdraftable account can *fail* — which makes the
+// compensation of a deposit a potentially failing compensating operation
+// (Sec. 3.2's 20-USD example). The overdraft policy is therefore
+// per-account state.
+//
+// Operations (params / result are Value maps):
+//   open      {account, overdraft?}            -> {}
+//   deposit   {account, amount}                -> {balance}
+//   withdraw  {account, amount}                -> {balance}
+//   transfer  {from, to, amount}               -> {}
+//   balance   {account}                        -> {balance}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Bank final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "bank"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+
+  /// Convenience for tests/examples: committed balance of an account.
+  [[nodiscard]] static std::int64_t balance_in(const Value& state,
+                                               const std::string& account);
+};
+
+}  // namespace mar::resource

@@ -1,0 +1,53 @@
+#include "resource/directory.h"
+
+namespace mar::resource {
+
+Value Directory::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("entries", Value::empty_map());
+  return state;
+}
+
+Result<Value> Directory::invoke(std::string_view op, const Value& params,
+                                Value& state) {
+  Value& entries = state.as_map().at("entries");
+
+  if (op == "publish") {
+    entries.set(params.at("key").as_string(), params.at("value"));
+    return Value::empty_map();
+  }
+
+  if (op == "lookup") {
+    const auto& key = params.at("key").as_string();
+    if (!entries.has(key)) {
+      return Status(Errc::not_found, "no entry " + key);
+    }
+    Value result = Value::empty_map();
+    result.set("value", entries.at(key));
+    return result;
+  }
+
+  if (op == "list") {
+    const auto prefix = params.get_or("prefix", "").as_string();
+    Value keys = Value::empty_list();
+    for (const auto& [k, v] : entries.as_map()) {
+      if (k.compare(0, prefix.size(), prefix) == 0) keys.push_back(k);
+    }
+    Value result = Value::empty_map();
+    result.set("keys", std::move(keys));
+    return result;
+  }
+
+  if (op == "remove") {
+    const auto& key = params.at("key").as_string();
+    if (!entries.has(key)) {
+      return Status(Errc::not_found, "no entry " + key);
+    }
+    entries.erase(key);
+    return Value::empty_map();
+  }
+
+  return Status(Errc::rejected, "directory: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

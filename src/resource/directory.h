@@ -1,0 +1,29 @@
+// Information directory: a read-mostly lookup service.
+//
+// Models the systems-management / information-gathering workloads the
+// paper's introduction motivates: an agent visits nodes, queries the local
+// directory and stores results in *strongly reversible* objects. Reads
+// need no compensating operations at all, which is what makes the
+// optimized rollback skip agent transfers for such steps (Sec. 4.3's
+// closing discussion).
+//
+// Operations:
+//   publish {key, value}   -> {}
+//   lookup  {key}          -> {value}
+//   list    {prefix}       -> {keys: [...]}
+//   remove  {key}          -> {}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Directory final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "directory"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+};
+
+}  // namespace mar::resource

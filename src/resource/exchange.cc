@@ -1,0 +1,63 @@
+#include "resource/exchange.h"
+
+namespace mar::resource {
+
+namespace {
+std::string pair_key(const Value& params) {
+  return params.at("from").as_string() + "/" + params.at("to").as_string();
+}
+}  // namespace
+
+Value Exchange::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("rates", Value::empty_map());
+  state.set("volume", Value::empty_map());  // per-pair converted volume
+  return state;
+}
+
+Result<Value> Exchange::invoke(std::string_view op, const Value& params,
+                               Value& state) {
+  if (op == "set_rate") {
+    const auto rate = params.at("rate_ppm").as_int();
+    if (rate <= 0) return Status(Errc::rejected, "rate must be positive");
+    state.as_map().at("rates").set(pair_key(params), rate);
+    // Install the inverse rate as well so conversions are reversible.
+    const auto inverse =
+        (kRateScale * kRateScale + rate / 2) / rate;  // rounded
+    const std::string inv_key =
+        params.at("to").as_string() + "/" + params.at("from").as_string();
+    state.as_map().at("rates").set(inv_key, inverse);
+    return Value::empty_map();
+  }
+
+  if (op == "rate") {
+    const auto key = pair_key(params);
+    if (!state.at("rates").has(key)) {
+      return Status(Errc::not_found, "no rate for " + key);
+    }
+    Value result = Value::empty_map();
+    result.set("rate_ppm", state.at("rates").at(key).as_int());
+    return result;
+  }
+
+  if (op == "convert") {
+    const auto key = pair_key(params);
+    if (!state.at("rates").has(key)) {
+      return Status(Errc::not_found, "no rate for " + key);
+    }
+    const auto amount = params.at("amount").as_int();
+    if (amount < 0) return Status(Errc::rejected, "negative amount");
+    const auto rate = state.at("rates").at(key).as_int();
+    const auto out = (amount * rate) / kRateScale;
+    Value& volume = state.as_map().at("volume");
+    volume.set(key, volume.get_or(key, std::int64_t{0}).as_int() + amount);
+    Value result = Value::empty_map();
+    result.set("out", out);
+    result.set("rate", rate);
+    return result;
+  }
+
+  return Status(Errc::rejected, "exchange: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

@@ -1,0 +1,31 @@
+// Currency exchange: the paper's mixed-compensation example (Sec. 4.4.1).
+//
+// An agent changes digital cash from one currency into another. The
+// compensating operation needs access to *both* the agent's weakly
+// reversible objects (the coins it currently holds) and the resource (the
+// exchange's rates and books) — hence a *mixed compensation entry*, which
+// forces the agent to travel back to this node during rollback.
+//
+// Amounts are integer minor units; rates are scaled by 1e6.
+//
+// Operations:
+//   convert  {from, to, amount}      -> {out, rate}
+//   set_rate {from, to, rate_ppm}    -> {}
+//   rate     {from, to}              -> {rate_ppm}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Exchange final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "exchange"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+
+  static constexpr std::int64_t kRateScale = 1'000'000;
+};
+
+}  // namespace mar::resource

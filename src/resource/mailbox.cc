@@ -1,0 +1,40 @@
+#include "resource/mailbox.h"
+
+namespace mar::resource {
+
+Value Mailbox::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("slots", Value::empty_map());
+  return state;
+}
+
+Result<Value> Mailbox::invoke(std::string_view op, const Value& params,
+                              Value& state) {
+  Value& slots = state.as_map().at("slots");
+
+  if (op == "put") {
+    slots.set(params.at("key").as_string(), params.at("value"));
+    return Value::empty_map();
+  }
+
+  if (op == "peek" || op == "take") {
+    const auto& key = params.at("key").as_string();
+    if (!slots.has(key)) {
+      return Status(Errc::not_found, "mailbox: no message " + key);
+    }
+    Value result = Value::empty_map();
+    result.set("value", slots.at(key));
+    if (op == "take") slots.erase(key);
+    return result;
+  }
+
+  if (op == "exists") {
+    Value result = Value::empty_map();
+    result.set("present", slots.has(params.at("key").as_string()));
+    return result;
+  }
+
+  return Status(Errc::rejected, "mailbox: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

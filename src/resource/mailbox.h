@@ -1,0 +1,29 @@
+// Mailbox: transactional rendezvous storage for multi-agent executions.
+//
+// The paper's future work (Sec. 6) names "an enhanced agent execution
+// model supporting exactly-once executions comprising more than one
+// agent". The platform's spawn/join mechanism delivers a child agent's
+// result into a mailbox *within the child's final step transaction*, so
+// result delivery commits atomically with the child's completion —
+// exactly once, like every other step effect.
+//
+// Operations:
+//   put   {key, value}  -> {}           (overwrites; system use)
+//   peek  {key}         -> {value}      (read without consuming)
+//   take  {key}         -> {value}      (read and remove; the join op)
+//   exists{key}         -> {present}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Mailbox final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "mailbox"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+};
+
+}  // namespace mar::resource

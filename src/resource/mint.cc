@@ -1,0 +1,96 @@
+#include "resource/mint.h"
+
+namespace mar::resource {
+
+Value Mint::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("next_serial", std::int64_t{1});
+  state.set("live", Value::empty_map());  // serial -> {currency, value}
+  return state;
+}
+
+std::int64_t Mint::wallet_total(const Value& wallet) {
+  std::int64_t total = 0;
+  for (const auto& coin : wallet.as_list()) {
+    total += coin.at("value").as_int();
+  }
+  return total;
+}
+
+Value Mint::wallet_serials(const Value& wallet) {
+  Value serials = Value::empty_list();
+  for (const auto& coin : wallet.as_list()) {
+    serials.push_back(coin.at("serial").as_int());
+  }
+  return serials;
+}
+
+Result<Value> Mint::invoke(std::string_view op, const Value& params,
+                           Value& state) {
+  if (op == "issue") {
+    const auto& currency = params.at("currency").as_string();
+    const auto value = params.at("value").as_int();
+    const auto count = params.get_or("count", std::int64_t{1}).as_int();
+    if (value <= 0 || count <= 0) {
+      return Status(Errc::rejected, "value and count must be positive");
+    }
+    auto serial = state.at("next_serial").as_int();
+    Value coins = Value::empty_list();
+    for (std::int64_t i = 0; i < count; ++i) {
+      Value coin = Value::empty_map();
+      coin.set("serial", serial);
+      coin.set("currency", currency);
+      coin.set("value", value);
+      Value live = Value::empty_map();
+      live.set("currency", currency);
+      live.set("value", value);
+      state.as_map().at("live").set(std::to_string(serial), std::move(live));
+      coins.push_back(std::move(coin));
+      ++serial;
+    }
+    state.set("next_serial", serial);
+    Value result = Value::empty_map();
+    result.set("coins", std::move(coins));
+    return result;
+  }
+
+  if (op == "redeem") {
+    const auto& serials = params.at("coins").as_list();
+    Value& live = state.as_map().at("live");
+    std::int64_t total = 0;
+    std::string currency;
+    // Validate all serials before spending any (all-or-nothing).
+    for (const auto& s : serials) {
+      const auto key = std::to_string(s.as_int());
+      if (!live.has(key)) {
+        return Status(Errc::rejected,
+                      "coin not live (double spend?): " + key);
+      }
+      const auto& coin = live.at(key);
+      if (currency.empty()) {
+        currency = coin.at("currency").as_string();
+      } else if (currency != coin.at("currency").as_string()) {
+        return Status(Errc::rejected, "mixed-currency redeem");
+      }
+      total += coin.at("value").as_int();
+    }
+    for (const auto& s : serials) {
+      live.erase(std::to_string(s.as_int()));
+    }
+    Value result = Value::empty_map();
+    result.set("total", total);
+    result.set("currency", currency);
+    return result;
+  }
+
+  if (op == "verify") {
+    const auto key = std::to_string(params.at("serial").as_int());
+    Value result = Value::empty_map();
+    result.set("valid", state.at("live").has(key));
+    return result;
+  }
+
+  return Status(Errc::rejected, "mint: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

@@ -1,0 +1,35 @@
+// Mint: digital cash with serial numbers (Chaum-style, paper ref [2]).
+//
+// Sec. 3.2 uses digital cash to show *state-equivalent* compensation: if an
+// agent pays with digital coins and the purchase is compensated, it gets
+// back the same amount — but the coins carry different serial numbers. The
+// mint issues and redeems coins; refunds necessarily mint fresh serials,
+// so a before-image of the agent's wallet would resurrect spent coins.
+// That is why wallets are weakly reversible objects.
+//
+// Coins are Value maps {serial, currency, value}.
+//
+// Operations:
+//   issue  {currency, value, count}   -> {coins: [coin...]}
+//   redeem {coins: [serial...]}       -> {total, currency}
+//   verify {serial}                   -> {valid}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Mint final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "mint"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+
+  /// Sum of coin values in a wallet (a Value list of coins).
+  [[nodiscard]] static std::int64_t wallet_total(const Value& wallet);
+  /// Serials in a wallet, as a Value list (for redeem params).
+  [[nodiscard]] static Value wallet_serials(const Value& wallet);
+};
+
+}  // namespace mar::resource

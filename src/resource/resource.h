@@ -1,0 +1,40 @@
+// Resource abstraction: the "local resources" agents visit nodes to use.
+//
+// A Resource encapsulates the domain logic (bank, shop, currency exchange,
+// ...) as pure operations over a serializable state Value. Transactional
+// concerns — locking, overlays, durability, 2PC participation — live in
+// ResourceManager, so resource authors only write operation logic plus its
+// domain rules (e.g. "no overdraft"), mirroring how the paper layers agent
+// operations over a conventional transactional resource manager.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serial/value.h"
+#include "util/result.h"
+
+namespace mar::resource {
+
+using serial::Value;
+
+class Resource {
+ public:
+  virtual ~Resource() = default;
+
+  /// Stable type identifier, e.g. "bank".
+  [[nodiscard]] virtual std::string type_name() const = 0;
+
+  /// State a fresh instance starts from.
+  [[nodiscard]] virtual Value initial_state() const {
+    return Value::empty_map();
+  }
+
+  /// Execute `op` with `params` against `state` (the transaction's private
+  /// overlay copy). Return a result Value, or an error Status — in which
+  /// case the caller discards any partial mutation by aborting.
+  virtual Result<Value> invoke(std::string_view op, const Value& params,
+                               Value& state) = 0;
+};
+
+}  // namespace mar::resource

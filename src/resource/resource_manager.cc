@@ -1,0 +1,140 @@
+#include "resource/resource_manager.h"
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "serial/serializable.h"
+#include "util/check.h"
+
+namespace mar::resource {
+
+void ResourceManager::add_resource(const std::string& name,
+                                   std::unique_ptr<Resource> logic) {
+  MAR_CHECK_MSG(!instances_.contains(name), "duplicate resource " << name);
+  Value state = logic->initial_state();
+  instances_.emplace(name, Instance{std::move(logic), std::move(state)});
+}
+
+bool ResourceManager::has_resource(const std::string& name) const {
+  return instances_.contains(name);
+}
+
+Result<Value> ResourceManager::invoke(TxId tx, const std::string& resource,
+                                      std::string_view op,
+                                      const Value& params) {
+  auto it = instances_.find(resource);
+  if (it == instances_.end()) {
+    return Status(Errc::not_found, "no such resource: " + resource);
+  }
+  // Strict exclusive locking, no waiting: a conflict aborts the caller's
+  // transaction, which the platform restarts later (Sec. 2 abort/restart).
+  auto lock = locks_.find(resource);
+  if (lock != locks_.end() && lock->second != tx) {
+    return Status(Errc::lock_conflict,
+                  "resource " + resource + " locked by tx " +
+                      std::to_string(lock->second.value()));
+  }
+  locks_[resource] = tx;
+  auto& overlay = overlays_[tx];
+  auto [sit, inserted] =
+      overlay.touched.try_emplace(resource, it->second.state);
+  Value& state = sit->second;
+  Value before = state;
+  auto result = it->second.logic->invoke(op, params, state);
+  if (!result.is_ok()) {
+    // Failed operations must not leave partial mutations in the overlay;
+    // the transaction may continue with other work.
+    state = std::move(before);
+  } else if (state != before) {
+    overlay.dirty.insert(resource);
+  }
+  return result;
+}
+
+const Value& ResourceManager::committed_state(const std::string& name) const {
+  auto it = instances_.find(name);
+  MAR_CHECK_MSG(it != instances_.end(), "no such resource " << name);
+  return it->second.state;
+}
+
+void ResourceManager::poke_state(const std::string& name, Value state) {
+  auto it = instances_.find(name);
+  MAR_CHECK_MSG(it != instances_.end(), "no such resource " << name);
+  it->second.state = std::move(state);
+}
+
+bool ResourceManager::locked(const std::string& name) const {
+  return locks_.contains(name);
+}
+
+bool ResourceManager::has_tx(TxId tx) const { return overlays_.contains(tx); }
+
+bool ResourceManager::prepare(TxId tx) {
+  auto it = overlays_.find(tx);
+  if (it == overlays_.end()) return false;
+  if (it->second.prepared) return true;  // idempotent
+  // Only modified states need to survive a crash; clean copies are
+  // reconstructible (and irrelevant to the commit).
+  serial::Encoder enc;
+  enc.write_varint(it->second.dirty.size());
+  for (const auto& name : it->second.dirty) {
+    enc.write_string(name);
+    it->second.touched.at(name).serialize(enc);
+  }
+  stable_.put(prep_key(tx), std::move(enc).take());
+  it->second.prepared = true;
+  return true;
+}
+
+void ResourceManager::commit(TxId tx) {
+  auto it = overlays_.find(tx);
+  if (it == overlays_.end()) return;  // idempotent
+  for (auto& [name, state] : it->second.touched) {
+    // Read-only access writes nothing back (and costs no stable I/O).
+    if (!it->second.dirty.contains(name)) continue;
+    auto iit = instances_.find(name);
+    MAR_CHECK(iit != instances_.end());
+    iit->second.state = std::move(state);
+    // Committed resource state is durable (models the resource's DB).
+    stable_.put("res:" + name, serial::to_bytes(iit->second.state));
+  }
+  stable_.erase(prep_key(tx));
+  overlays_.erase(it);
+  release_locks(tx);
+}
+
+void ResourceManager::abort(TxId tx) {
+  overlays_.erase(tx);
+  stable_.erase(prep_key(tx));
+  release_locks(tx);
+}
+
+void ResourceManager::release_locks(TxId tx) {
+  std::erase_if(locks_, [tx](const auto& kv) { return kv.second == tx; });
+}
+
+void ResourceManager::on_crash() {
+  // All in-flight overlays and locks are volatile; prepared overlays are
+  // reloaded from stable storage and their locks re-acquired (a prepared
+  // participant must keep isolating its writes until the decision).
+  overlays_.clear();
+  locks_.clear();
+  for (const auto& key : stable_.keys_with_prefix("prep.res:")) {
+    const TxId tx(std::stoull(key.substr(9)));
+    const auto bytes = stable_.get(key);
+    serial::Decoder dec(*bytes);
+    Overlay o;
+    o.prepared = true;
+    const auto n = dec.read_varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto name = dec.read_string();
+      Value state;
+      state.deserialize(dec);
+      locks_[name] = tx;
+      o.dirty.insert(name);
+      o.touched.emplace(std::move(name), std::move(state));
+    }
+    overlays_.emplace(tx, std::move(o));
+  }
+}
+
+}  // namespace mar::resource

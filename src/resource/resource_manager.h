@@ -1,0 +1,84 @@
+// Transactional resource manager: one per node.
+//
+// Provides the ACID envelope the paper assumes of node-local resources:
+//   * strict exclusive locking per resource instance (conflicts surface as
+//     Errc::lock_conflict; the enclosing step transaction aborts and the
+//     platform restarts it — the paper's abort/restart of a step);
+//   * per-transaction copy-on-write overlays, so "if the execution of a
+//     step aborts, all changes to resources during the step transaction
+//     are undone automatically" (Sec. 2);
+//   * durable committed state plus prepared-overlay persistence, making it
+//     a well-behaved 2PC participant.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "resource/resource.h"
+#include "storage/stable_storage.h"
+#include "tx/participant.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace mar::resource {
+
+class ResourceManager final : public tx::Participant {
+ public:
+  explicit ResourceManager(storage::StableStorage& stable)
+      : stable_(stable) {}
+
+  /// Install a resource instance under `name`. Setup-time only.
+  void add_resource(const std::string& name, std::unique_ptr<Resource> logic);
+  [[nodiscard]] bool has_resource(const std::string& name) const;
+
+  /// Invoke an operation within transaction `tx`. Takes the instance lock
+  /// (held to commit/abort) and runs against the tx's overlay copy.
+  Result<Value> invoke(TxId tx, const std::string& resource,
+                       std::string_view op, const Value& params);
+
+  /// Committed (post-commit) state, for tests and experiment checks.
+  [[nodiscard]] const Value& committed_state(const std::string& name) const;
+
+  /// Direct committed-state mutation for world setup (not transactional).
+  void poke_state(const std::string& name, Value state);
+
+  /// Whether any transaction currently holds the instance lock.
+  [[nodiscard]] bool locked(const std::string& name) const;
+
+  // Participant interface.
+  [[nodiscard]] std::string name() const override { return "res"; }
+  [[nodiscard]] bool has_tx(TxId tx) const override;
+  bool prepare(TxId tx) override;
+  void commit(TxId tx) override;
+  void abort(TxId tx) override;
+  void on_crash() override;
+
+ private:
+  struct Instance {
+    std::unique_ptr<Resource> logic;
+    Value state;
+  };
+  struct Overlay {
+    std::map<std::string, Value> touched;
+    /// Resources whose overlay state was actually modified. Read-only
+    /// access must not write anything back at commit: comparing against
+    /// the committed state is NOT equivalent (it may have been changed by
+    /// world setup while we held the untouched copy).
+    std::set<std::string> dirty;
+    bool prepared = false;
+  };
+
+  [[nodiscard]] std::string prep_key(TxId tx) const {
+    return "prep.res:" + std::to_string(tx.value());
+  }
+  void release_locks(TxId tx);
+
+  storage::StableStorage& stable_;
+  std::map<std::string, Instance> instances_;
+  std::map<TxId, Overlay> overlays_;
+  std::map<std::string, TxId> locks_;
+};
+
+}  // namespace mar::resource

@@ -1,0 +1,123 @@
+#include "resource/shop.h"
+
+namespace mar::resource {
+
+Value Shop::initial_state() const {
+  Value state = Value::empty_map();
+  state.set("items", Value::empty_map());
+  state.set("orders", Value::empty_map());
+  state.set("next_order", std::int64_t{1});
+  state.set("cancel_fee", std::int64_t{0});
+  // Default: one simulated hour of full (minus fee) cash reimbursement.
+  state.set("cash_window", std::int64_t{3'600'000'000});
+  return state;
+}
+
+Result<Value> Shop::invoke(std::string_view op, const Value& params,
+                           Value& state) {
+  if (op == "restock") {
+    const auto& item = params.at("item").as_string();
+    Value entry = state.at("items").get_or(item, Value::empty_map());
+    entry.set("qty",
+              entry.get_or("qty", std::int64_t{0}).as_int() +
+                  params.at("qty").as_int());
+    if (params.has("price")) entry.set("price", params.at("price").as_int());
+    state.as_map().at("items").set(item, std::move(entry));
+    return Value::empty_map();
+  }
+
+  if (op == "buy") {
+    const auto& item = params.at("item").as_string();
+    const auto qty = params.at("qty").as_int();
+    if (qty <= 0) return Status(Errc::rejected, "qty must be positive");
+    if (!state.at("items").has(item)) {
+      return Status(Errc::not_found, "shop does not carry " + item);
+    }
+    Value& entry = state.as_map().at("items").as_map().at(item);
+    const auto have = entry.at("qty").as_int();
+    if (have < qty) {
+      // Sec. 3.2: the desired good is out of stock — the agent falls back
+      // to another shop; this result is not affected by a later
+      // compensation of whoever bought the stock.
+      return Status(Errc::rejected, "out of stock: " + item);
+    }
+    const auto price = entry.at("price").as_int();
+    const auto cost = price * qty;
+    const auto payment = params.at("payment").as_int();
+    if (payment < cost) return Status(Errc::rejected, "insufficient payment");
+    entry.set("qty", have - qty);
+
+    const auto order_id = state.at("next_order").as_int();
+    state.set("next_order", order_id + 1);
+    Value order = Value::empty_map();
+    order.set("item", item);
+    order.set("qty", qty);
+    order.set("paid", cost);
+    order.set("bought_at", params.get_or("now", std::int64_t{0}));
+    state.as_map().at("orders").set(std::to_string(order_id),
+                                    std::move(order));
+
+    Value result = Value::empty_map();
+    result.set("order", order_id);
+    result.set("cost", cost);
+    result.set("change", payment - cost);
+    return result;
+  }
+
+  if (op == "cancel") {
+    const auto order_id = std::to_string(params.at("order").as_int());
+    if (!state.at("orders").has(order_id)) {
+      return Status(Errc::not_found, "no order " + order_id);
+    }
+    const Value order = state.at("orders").at(order_id);
+    const auto& item = order.at("item").as_string();
+    // Return the goods to stock.
+    Value& entry = state.as_map().at("items").as_map().at(item);
+    entry.set("qty", entry.at("qty").as_int() + order.at("qty").as_int());
+    state.as_map().at("orders").erase(order_id);
+
+    // Time-dependent reimbursement policy (Sec. 3.2).
+    const auto now = params.get_or("now", std::int64_t{0}).as_int();
+    const auto age = now - order.at("bought_at").as_int();
+    const auto fee = state.at("cancel_fee").as_int();
+    Value result = Value::empty_map();
+    if (age <= state.at("cash_window").as_int()) {
+      const auto refund = std::max<std::int64_t>(
+          0, order.at("paid").as_int() - fee);
+      result.set("mode", "cash");
+      result.set("refund", refund);
+      result.set("fee", order.at("paid").as_int() - refund);
+    } else {
+      result.set("mode", "credit");
+      result.set("refund", order.at("paid").as_int());
+      result.set("fee", std::int64_t{0});
+    }
+    return result;
+  }
+
+  if (op == "stock") {
+    const auto& item = params.at("item").as_string();
+    if (!state.at("items").has(item)) {
+      return Status(Errc::not_found, "shop does not carry " + item);
+    }
+    const Value& entry = state.at("items").at(item);
+    Value result = Value::empty_map();
+    result.set("qty", entry.at("qty").as_int());
+    result.set("price", entry.at("price").as_int());
+    return result;
+  }
+
+  if (op == "set_policy") {
+    if (params.has("cancel_fee")) {
+      state.set("cancel_fee", params.at("cancel_fee").as_int());
+    }
+    if (params.has("cash_window")) {
+      state.set("cash_window", params.at("cash_window").as_int());
+    }
+    return Value::empty_map();
+  }
+
+  return Status(Errc::rejected, "shop: unknown op " + std::string(op));
+}
+
+}  // namespace mar::resource

@@ -1,0 +1,34 @@
+// Shop resource: inventory sales with a compensation-fee policy.
+//
+// Models the paper's e-commerce scenarios (Sec. 3.2):
+//   * a purchase can fail because another transaction bought the last
+//     items ("out of stock" — the dependent-transaction example);
+//   * cancelling a purchase (the compensating operation) reimburses
+//     according to a time-dependent policy: within `cash_window_us` of the
+//     purchase the buyer gets cash back minus `cancel_fee`; after the
+//     window only a credit note is issued. The agent must integrate that
+//     new information into its private data — the reason weakly
+//     reversible objects cannot be restored from a before-image.
+//
+// Operations:
+//   restock {item, qty, price}                  -> {}
+//   buy     {item, qty, payment, now}           -> {order, cost, change}
+//   cancel  {order, now}                        -> {mode:"cash"|"credit",
+//                                                   refund, fee}
+//   stock   {item}                              -> {qty, price}
+//   set_policy {cancel_fee, cash_window}        -> {}
+#pragma once
+
+#include "resource/resource.h"
+
+namespace mar::resource {
+
+class Shop final : public Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "shop"; }
+  [[nodiscard]] Value initial_state() const override;
+  Result<Value> invoke(std::string_view op, const Value& params,
+                       Value& state) override;
+};
+
+}  // namespace mar::resource

@@ -1,0 +1,52 @@
+#include "rollback/comp_registry.h"
+
+#include "util/check.h"
+
+namespace mar::rollback {
+
+Result<Value> CompensationContext::invoke(const std::string& resource,
+                                          std::string_view op,
+                                          const Value& op_params) {
+  if (kind_ == OpEntryKind::agent) {
+    return Status(Errc::forbidden,
+                  "agent compensation entries must not access resources");
+  }
+  MAR_CHECK_MSG(rm_ != nullptr, "no resource manager in this context");
+  return rm_->invoke(tx_, resource, op, op_params);
+}
+
+Value& CompensationContext::weak(std::string_view name) {
+  MAR_CHECK_MSG(kind_ != OpEntryKind::resource,
+                "resource compensation entries must not access the agent's "
+                "private state (op tried to read weak slot '"
+                    << name << "')");
+  MAR_CHECK_MSG(weak_ != nullptr, "no agent data in this context");
+  MAR_CHECK_MSG(weak_->has(name), "unknown weak slot: " << name);
+  return weak_->as_map().find(std::string(name))->second;
+}
+
+bool CompensationContext::has_weak(std::string_view name) const {
+  return kind_ != OpEntryKind::resource && weak_ != nullptr &&
+         weak_->has(name);
+}
+
+void CompensationRegistry::register_op(std::string name, CompensationFn fn) {
+  MAR_CHECK_MSG(!ops_.contains(name), "duplicate compensation op " << name);
+  ops_.emplace(std::move(name), std::move(fn));
+}
+
+bool CompensationRegistry::contains(std::string_view name) const {
+  return ops_.find(name) != ops_.end();
+}
+
+Status CompensationRegistry::run(std::string_view name,
+                                 CompensationContext& ctx) const {
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status(Errc::protocol_error,
+                  "unknown compensating operation: " + std::string(name));
+  }
+  return it->second(ctx);
+}
+
+}  // namespace mar::rollback

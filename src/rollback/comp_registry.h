@@ -1,0 +1,90 @@
+// Compensating operations: execution context and registry.
+//
+// The paper stores "the code of one compensating operation and the
+// parameters for this operation" in each operation entry (Sec. 4.2). Here
+// the code is a named function in a registry shared by all nodes (the same
+// code-mobility model used for agents), and the entry carries the name and
+// the parameters.
+//
+// The context enforces the access rules of Sec. 4.3/4.4.1 by construction:
+//   * resource compensation entries may only touch resource state — the
+//     agent's data is not even reachable (the agent may be on another
+//     node);
+//   * agent compensation entries may only touch *weakly reversible*
+//     objects — resource access is rejected, and strongly reversible
+//     objects are simply not exposed (they are restored from the
+//     savepoint image when the target savepoint is reached, so reading
+//     them during compensation would observe "old" post-abort state);
+//   * mixed compensation entries may touch both weak objects and
+//     resources, and therefore pin the compensation to the resource node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "resource/resource_manager.h"
+#include "rollback/log.h"
+#include "serial/value.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace mar::rollback {
+
+using serial::Value;
+
+class CompensationContext {
+ public:
+  /// `weak` is the agent's weakly-reversible slot map (may be null for
+  /// resource entries executed away from the agent); `rm` is the resource
+  /// manager of the executing node (null for agent entries).
+  CompensationContext(OpEntryKind kind, const Value& params,
+                      std::uint64_t now_us, resource::ResourceManager* rm,
+                      TxId tx, Value* weak)
+      : kind_(kind), params_(params), now_us_(now_us), rm_(rm), tx_(tx),
+        weak_(weak) {}
+
+  [[nodiscard]] OpEntryKind kind() const { return kind_; }
+  [[nodiscard]] const Value& params() const { return params_; }
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+
+  /// Invoke a resource operation within the compensation transaction.
+  /// Rejected for agent compensation entries (Sec. 4.4.1).
+  Result<Value> invoke(const std::string& resource, std::string_view op,
+                       const Value& op_params);
+
+  /// Access a weakly reversible object. Rejected (LogicError) for resource
+  /// compensation entries — their operations must carry all information in
+  /// the entry parameters and "must not access the private agent state".
+  [[nodiscard]] Value& weak(std::string_view name);
+  [[nodiscard]] bool has_weak(std::string_view name) const;
+
+ private:
+  OpEntryKind kind_;
+  const Value& params_;
+  std::uint64_t now_us_;
+  resource::ResourceManager* rm_;
+  TxId tx_;
+  Value* weak_;
+};
+
+/// A compensating operation: returns ok, or an error making the
+/// compensation transaction abort (it will be retried; Sec. 3.2 discusses
+/// compensations that may fail).
+using CompensationFn = std::function<Status(CompensationContext&)>;
+
+/// World-wide registry of compensating-operation code, keyed by name.
+class CompensationRegistry {
+ public:
+  void register_op(std::string name, CompensationFn fn);
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Run the named operation; unknown names are a protocol error.
+  Status run(std::string_view name, CompensationContext& ctx) const;
+
+ private:
+  std::map<std::string, CompensationFn, std::less<>> ops_;
+};
+
+}  // namespace mar::rollback

@@ -1,0 +1,342 @@
+#include "rollback/log.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mar::rollback {
+
+std::string_view to_string(OpEntryKind k) {
+  switch (k) {
+    case OpEntryKind::resource: return "RCE";
+    case OpEntryKind::agent: return "ACE";
+    case OpEntryKind::mixed: return "MCE";
+  }
+  return "?";
+}
+
+std::string_view to_string(EntryKind k) {
+  switch (k) {
+    case EntryKind::savepoint: return "SP";
+    case EntryKind::begin_of_step: return "BOS";
+    case EntryKind::operation: return "OE";
+    case EntryKind::end_of_step: return "EOS";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Entry serialization
+// ---------------------------------------------------------------------------
+
+void SavepointEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u32(id.value());
+  enc.write_u8(static_cast<std::uint8_t>(origin));
+  enc.write_u32(depth);
+  enc.write_bool(lightweight);
+  enc.write_bool(transition);
+  image.serialize(enc);
+  delta.serialize(enc);
+  enc.write_varint(resume_position.size());
+  for (const auto i : resume_position) enc.write_u32(i);
+}
+
+void SavepointEntry::deserialize(serial::Decoder& dec) {
+  id = SavepointId(dec.read_u32());
+  origin = static_cast<SavepointOrigin>(dec.read_u8());
+  depth = dec.read_u32();
+  lightweight = dec.read_bool();
+  transition = dec.read_bool();
+  image.deserialize(dec);
+  delta.deserialize(dec);
+  resume_position.resize(dec.read_count());
+  for (auto& i : resume_position) i = dec.read_u32();
+}
+
+void BeginOfStepEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u32(node.value());
+  enc.write_string(step_name);
+}
+
+void BeginOfStepEntry::deserialize(serial::Decoder& dec) {
+  node = NodeId(dec.read_u32());
+  step_name = dec.read_string();
+}
+
+void OperationEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u8(static_cast<std::uint8_t>(kind));
+  enc.write_string(comp_op);
+  params.serialize(enc);
+  enc.write_u32(resource_node.value());
+  enc.write_string(resource);
+}
+
+void OperationEntry::deserialize(serial::Decoder& dec) {
+  kind = static_cast<OpEntryKind>(dec.read_u8());
+  comp_op = dec.read_string();
+  params.deserialize(dec);
+  resource_node = NodeId(dec.read_u32());
+  resource = dec.read_string();
+}
+
+void EndOfStepEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u32(node.value());
+  enc.write_bool(has_mixed);
+  enc.write_bool(cannot_compensate);
+  enc.write_varint(alternatives.size());
+  for (const auto n : alternatives) enc.write_u32(n.value());
+}
+
+void EndOfStepEntry::deserialize(serial::Decoder& dec) {
+  node = NodeId(dec.read_u32());
+  has_mixed = dec.read_bool();
+  cannot_compensate = dec.read_bool();
+  alternatives.resize(dec.read_count());
+  for (auto& n : alternatives) n = NodeId(dec.read_u32());
+}
+
+void LogEntry::serialize(serial::Encoder& enc) const {
+  enc.write_u8(static_cast<std::uint8_t>(kind()));
+  std::visit([&enc](const auto& e) { e.serialize(enc); }, body_);
+}
+
+void LogEntry::deserialize(serial::Decoder& dec) {
+  const auto tag = static_cast<EntryKind>(dec.read_u8());
+  switch (tag) {
+    case EntryKind::savepoint: {
+      SavepointEntry e;
+      e.deserialize(dec);
+      body_ = std::move(e);
+      break;
+    }
+    case EntryKind::begin_of_step: {
+      BeginOfStepEntry e;
+      e.deserialize(dec);
+      body_ = std::move(e);
+      break;
+    }
+    case EntryKind::operation: {
+      OperationEntry e;
+      e.deserialize(dec);
+      body_ = std::move(e);
+      break;
+    }
+    case EntryKind::end_of_step: {
+      EndOfStepEntry e;
+      e.deserialize(dec);
+      body_ = std::move(e);
+      break;
+    }
+    default:
+      throw serial::DecodeError("bad log entry kind");
+  }
+}
+
+std::size_t LogEntry::byte_size() const {
+  serial::Encoder enc;
+  serialize(enc);
+  return enc.size();
+}
+
+std::string LogEntry::to_string() const {
+  std::ostringstream os;
+  switch (kind()) {
+    case EntryKind::savepoint: {
+      const auto& sp = savepoint();
+      os << "SP_" << sp.id;
+      if (sp.lightweight) os << "(light)";
+      if (sp.transition) os << "(delta)";
+      break;
+    }
+    case EntryKind::begin_of_step:
+      os << "BOS(N" << begin_of_step().node << ","
+         << begin_of_step().step_name << ")";
+      break;
+    case EntryKind::operation:
+      os << "OE[" << rollback::to_string(operation().kind) << ","
+         << operation().comp_op << "]";
+      break;
+    case EntryKind::end_of_step: {
+      const auto& e = end_of_step();
+      os << "EOS(N" << e.node << (e.has_mixed ? ",mixed" : "")
+         << (e.cannot_compensate ? ",poison" : "") << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// RollbackLog
+// ---------------------------------------------------------------------------
+
+LogEntry RollbackLog::pop() {
+  MAR_CHECK_MSG(!entries_.empty(), "pop on empty rollback log");
+  LogEntry e = std::move(entries_.back());
+  entries_.pop_back();
+  return e;
+}
+
+const LogEntry& RollbackLog::back() const {
+  MAR_CHECK_MSG(!entries_.empty(), "back on empty rollback log");
+  return entries_.back();
+}
+
+std::optional<SavepointId> RollbackLog::trailing_savepoint() const {
+  if (entries_.empty() || !entries_.back().is_savepoint()) {
+    return std::nullopt;
+  }
+  return entries_.back().savepoint().id;
+}
+
+const EndOfStepEntry* RollbackLog::last_end_of_step() const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->kind() == EntryKind::end_of_step) return &it->end_of_step();
+    // Only savepoint entries may trail the last end-of-step entry.
+    if (it->kind() != EntryKind::savepoint) return nullptr;
+  }
+  return nullptr;
+}
+
+bool RollbackLog::contains_savepoint(SavepointId id) const {
+  return find_savepoint(id) != nullptr;
+}
+
+std::vector<const OperationEntry*> RollbackLog::last_step_ops() const {
+  std::vector<const OperationEntry*> ops;
+  auto it = entries_.rbegin();
+  while (it != entries_.rend() && it->is_savepoint()) ++it;
+  if (it == entries_.rend() || it->kind() != EntryKind::end_of_step) {
+    return ops;
+  }
+  for (++it; it != entries_.rend(); ++it) {
+    if (it->kind() == EntryKind::begin_of_step) break;
+    if (it->kind() != EntryKind::operation) return {};  // malformed
+    ops.push_back(&it->operation());
+  }
+  // Collected back-to-front; restore logging order.
+  std::reverse(ops.begin(), ops.end());
+  return ops;
+}
+
+const SavepointEntry* RollbackLog::find_savepoint(SavepointId id) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->is_savepoint() && it->savepoint().id == id) {
+      return &it->savepoint();
+    }
+  }
+  return nullptr;
+}
+
+SavepointId RollbackLog::first_savepoint() const {
+  for (const auto& e : entries_) {
+    if (e.is_savepoint()) return e.savepoint().id;
+  }
+  return SavepointId::invalid();
+}
+
+std::optional<bool> RollbackLog::gc_savepoint(SavepointId id) {
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (!entries_[i].is_savepoint() || entries_[i].savepoint().id != id) {
+      continue;
+    }
+    SavepointEntry removed = std::move(entries_[i].savepoint());
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (removed.lightweight) return false;  // carried no data
+
+    // Find the next data-carrying savepoint; it may depend on the removed
+    // entry's data. (Lightweight savepoints after the removed one cannot
+    // alias it: they would belong to a sub-itinerary nested inside the
+    // completed one, which must have completed — and been GC'd — first.)
+    for (std::size_t j = i; j < entries_.size(); ++j) {
+      if (!entries_[j].is_savepoint()) continue;
+      auto& sp = entries_[j].savepoint();
+      if (sp.lightweight) continue;
+      if (!sp.transition) return false;  // self-contained; chain intact
+      if (removed.transition) {
+        // delta chain: fold the removed delta into the successor.
+        sp.delta = serial::compose(removed.delta, sp.delta);
+      } else {
+        // The removed full image was the successor's base: materialize.
+        sp.image = serial::apply(sp.delta, std::move(removed.image));
+        sp.transition = false;
+        sp.delta = serial::ValuePatch::none();
+      }
+      return false;
+    }
+    // No later data-carrying savepoint: whatever is written next must be a
+    // full image (only relevant under transition logging).
+    return true;
+  }
+  return std::nullopt;
+}
+
+Result<serial::Value> RollbackLog::strong_state_at(SavepointId id) const {
+  // Locate the target savepoint.
+  std::size_t target = entries_.size();
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].is_savepoint() && entries_[i].savepoint().id == id) {
+      target = i;
+      break;
+    }
+  }
+  if (target == entries_.size()) {
+    return Status(Errc::not_found,
+                  "savepoint not in log: " + std::to_string(id.value()));
+  }
+  // Walk back to the nearest full image (lightweight savepoints carry no
+  // data; transition savepoints carry deltas).
+  std::size_t base = target + 1;
+  for (std::size_t i = target + 1; i-- > 0;) {
+    if (!entries_[i].is_savepoint()) continue;
+    const auto& sp = entries_[i].savepoint();
+    if (!sp.lightweight && !sp.transition) {
+      base = i;
+      break;
+    }
+  }
+  if (base == target + 1) {
+    return Status(Errc::protocol_error,
+                  "no full strong-object image at or before savepoint " +
+                      std::to_string(id.value()));
+  }
+  serial::Value state = entries_[base].savepoint().image;
+  // Apply forward deltas of data-carrying savepoints up to the target.
+  for (std::size_t i = base + 1; i <= target; ++i) {
+    if (!entries_[i].is_savepoint()) continue;
+    const auto& sp = entries_[i].savepoint();
+    if (sp.lightweight) continue;
+    MAR_CHECK_MSG(sp.transition,
+                  "unexpected full image between base and target");
+    state = serial::apply(sp.delta, std::move(state));
+  }
+  return state;
+}
+
+void RollbackLog::serialize(serial::Encoder& enc) const {
+  enc.write_varint(entries_.size());
+  for (const auto& e : entries_) e.serialize(enc);
+}
+
+void RollbackLog::deserialize(serial::Decoder& dec) {
+  entries_.resize(dec.read_count());
+  for (auto& e : entries_) e.deserialize(dec);
+}
+
+std::size_t RollbackLog::byte_size() const {
+  serial::Encoder enc;
+  serialize(enc);
+  return enc.size();
+}
+
+std::string RollbackLog::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << " ";
+    os << entries_[i].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace mar::rollback

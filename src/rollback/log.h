@@ -1,0 +1,234 @@
+// The agent rollback log (paper Sec. 4.2).
+//
+// The log is attached to the agent and migrates with it. It records, per
+// committed step, everything needed to compensate that step, and at each
+// agent savepoint the physical image (or transition delta) of the strongly
+// reversible objects. Entry kinds, following Fig. 2:
+//
+//   SP  (savepoint entry)      id, strong-object data, resume metadata
+//   BOS (begin-of-step entry)  node that executed the step
+//   OE  (operation entry)      one compensating operation + parameters;
+//                              typed resource/agent/mixed (Sec. 4.4.1)
+//   EOS (end-of-step entry)    node, mixed-entry flag (the optimization's
+//                              lookup key), alternative nodes, and a
+//                              cannot-compensate poison flag (Sec. 3.2)
+//
+// To roll back to savepoint k the log is consumed from the end towards the
+// SP_k entry; the compensating operations of a step execute in reverse
+// order of their logging (OE_n,p ... OE_n,1).
+//
+// Both physical logging flavours of Sec. 4.2 are supported for savepoints:
+// *state logging* stores a full image of the strongly reversible objects,
+// *transition logging* stores a forward delta from the previous savepoint,
+// with the full reconstruction and delta-merging (GC) machinery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serial/serializable.h"
+#include "serial/value.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace mar::rollback {
+
+/// Itinerary cursor: path of entry indices from the main itinerary down to
+/// a step entry. Stored in savepoints so a rollback can resume execution
+/// at the step following the savepoint.
+using Position = std::vector<std::uint32_t>;
+
+/// Why a savepoint exists. Sub-itinerary savepoints are written
+/// automatically on sub-itinerary entry and garbage-collected on
+/// completion (Sec. 4.4.2); ad-hoc savepoints are established by the agent
+/// program logic at the end of a step (Sec. 2).
+enum class SavepointOrigin : std::uint8_t { adhoc = 0, sub_itinerary = 1 };
+
+struct SavepointEntry {
+  SavepointId id;
+  SavepointOrigin origin = SavepointOrigin::adhoc;
+  /// Nesting depth of the owning sub-itinerary (sub_itinerary origin).
+  std::uint32_t depth = 0;
+  /// Lightweight savepoints (Sec. 4.4.2) carry no data: no step executed
+  /// since the previous savepoint, whose data is authoritative.
+  bool lightweight = false;
+  /// Transition logging: `delta` transforms the previous savepoint's
+  /// strong-object state into this one's. State logging: `image` is the
+  /// full strong-object state.
+  bool transition = false;
+  serial::Value image;
+  serial::ValuePatch delta;
+  /// Itinerary position of the step to execute after restoring here.
+  Position resume_position;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+};
+
+struct BeginOfStepEntry {
+  NodeId node;
+  std::string step_name;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+};
+
+/// Operation-entry types of Sec. 4.4.1, driving the optimized rollback.
+enum class OpEntryKind : std::uint8_t {
+  resource = 0,  ///< touches resource state only; shippable without agent
+  agent = 1,     ///< touches weakly reversible objects only; runs anywhere
+  mixed = 2,     ///< needs both; forces the agent to the resource node
+};
+
+[[nodiscard]] std::string_view to_string(OpEntryKind k);
+
+struct OperationEntry {
+  OpEntryKind kind = OpEntryKind::resource;
+  /// Name of the compensating operation in the CompensationRegistry
+  /// (models the "code of the compensating operation" in the entry).
+  std::string comp_op;
+  serial::Value params;
+  /// For resource/mixed entries: where the resource lives and its name.
+  NodeId resource_node;
+  std::string resource;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+};
+
+struct EndOfStepEntry {
+  NodeId node;  ///< node that executed the step
+  /// Sec. 4.4.1: flag telling the optimized algorithm whether any mixed
+  /// compensation entry exists in this step (agent must travel if so).
+  bool has_mixed = false;
+  /// Sec. 3.2: the step performed a non-compensatable operation; rollback
+  /// across this step is impossible.
+  bool cannot_compensate = false;
+  /// Sec. 4.3 discussion: alternative nodes able to run the compensation
+  /// if `node` is permanently unreachable (fault-tolerant extension).
+  std::vector<NodeId> alternatives;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+};
+
+enum class EntryKind : std::uint8_t {
+  savepoint = 0,
+  begin_of_step = 1,
+  operation = 2,
+  end_of_step = 3,
+};
+
+[[nodiscard]] std::string_view to_string(EntryKind k);
+
+class LogEntry {
+ public:
+  LogEntry() : body_(SavepointEntry{}) {}
+  LogEntry(SavepointEntry e) : body_(std::move(e)) {}      // NOLINT
+  LogEntry(BeginOfStepEntry e) : body_(std::move(e)) {}    // NOLINT
+  LogEntry(OperationEntry e) : body_(std::move(e)) {}      // NOLINT
+  LogEntry(EndOfStepEntry e) : body_(std::move(e)) {}      // NOLINT
+
+  [[nodiscard]] EntryKind kind() const {
+    return static_cast<EntryKind>(body_.index());
+  }
+  [[nodiscard]] bool is_savepoint() const {
+    return kind() == EntryKind::savepoint;
+  }
+  [[nodiscard]] const SavepointEntry& savepoint() const {
+    return std::get<SavepointEntry>(body_);
+  }
+  [[nodiscard]] SavepointEntry& savepoint() {
+    return std::get<SavepointEntry>(body_);
+  }
+  [[nodiscard]] const BeginOfStepEntry& begin_of_step() const {
+    return std::get<BeginOfStepEntry>(body_);
+  }
+  [[nodiscard]] const OperationEntry& operation() const {
+    return std::get<OperationEntry>(body_);
+  }
+  [[nodiscard]] const EndOfStepEntry& end_of_step() const {
+    return std::get<EndOfStepEntry>(body_);
+  }
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::variant<SavepointEntry, BeginOfStepEntry, OperationEntry,
+               EndOfStepEntry>
+      body_;
+};
+
+class RollbackLog {
+ public:
+  void push(LogEntry entry) { entries_.push_back(std::move(entry)); }
+  /// Read and remove the last entry (the paper's LOG.pop()).
+  [[nodiscard]] LogEntry pop();
+  [[nodiscard]] const LogEntry& back() const;
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<LogEntry>& entries() const {
+    return entries_;
+  }
+  /// Discard everything (top-level sub-itinerary completion, Sec. 4.4.2).
+  void clear() { entries_.clear(); }
+
+  // --- queries used by the rollback algorithms ---------------------------
+  /// The savepoint id of the last entry, if the last entry is an SP.
+  [[nodiscard]] std::optional<SavepointId> trailing_savepoint() const;
+  /// The node of the last end-of-step entry, skipping trailing savepoints
+  /// (where the next compensation transaction must run, Fig. 4a).
+  [[nodiscard]] const EndOfStepEntry* last_end_of_step() const;
+  /// Whether the log contains a savepoint with this id.
+  [[nodiscard]] bool contains_savepoint(SavepointId id) const;
+  /// Operation entries of the last complete step segment (skipping
+  /// trailing savepoint entries), in logging order. Empty when the log
+  /// does not end with a BOS..EOS segment. The adaptive strategy prices
+  /// shipping these against migrating the agent (Sec. 4.4.1).
+  [[nodiscard]] std::vector<const OperationEntry*> last_step_ops() const;
+
+  // --- savepoint garbage collection (Sec. 4.4.2) --------------------------
+  /// Remove the savepoint entry with `id` (its sub-itinerary completed).
+  /// This is the operation the paper calls "non-trivial if transition
+  /// logging is used": the removed entry may carry chain data later
+  /// entries depend on, so
+  ///   * a removed delta is composed into the next data-carrying
+  ///     savepoint's delta,
+  ///   * a removed full image converts the next data-carrying transition
+  ///     savepoint into a full image (delta applied to the image).
+  /// Returns std::nullopt if the savepoint is not in the log; otherwise
+  /// true when the caller must write its *next* savepoint as a full image
+  /// because the chain's tail information left the log with this entry.
+  std::optional<bool> gc_savepoint(SavepointId id);
+
+  /// Reconstruct the strong-object state at savepoint `id`: walk back to
+  /// the nearest full image at or before it, then apply forward deltas.
+  /// Lightweight savepoints resolve to the previous data-carrying one.
+  [[nodiscard]] Result<serial::Value> strong_state_at(SavepointId id) const;
+
+  /// The savepoint entry for `id`, if present.
+  [[nodiscard]] const SavepointEntry* find_savepoint(SavepointId id) const;
+  /// The OLDEST savepoint still in the log — the farthest point a
+  /// complete rollback (agent abort / cancellation) can reach. Invalid
+  /// after a top-level log discard.
+  [[nodiscard]] SavepointId first_savepoint() const;
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+  /// Wire size of the whole log (what migration pays to carry it).
+  [[nodiscard]] std::size_t byte_size() const;
+
+  /// Fig. 2-style rendering: "... SP_k BOS_n OE_n,1 .. EOS_n ...".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace mar::rollback

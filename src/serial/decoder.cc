@@ -1,0 +1,100 @@
+#include "serial/decoder.h"
+
+#include <bit>
+
+namespace mar::serial {
+
+void Decoder::need(std::size_t n) const {
+  if (pos_ + n > data_.size()) {
+    throw DecodeError("decode past end of buffer (need " + std::to_string(n) +
+                      ", have " + std::to_string(data_.size() - pos_) + ")");
+  }
+}
+
+std::uint8_t Decoder::read_u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Decoder::read_u16() {
+  const auto lo = read_u8();
+  const auto hi = read_u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t Decoder::read_u32() {
+  const auto lo = read_u16();
+  const auto hi = read_u16();
+  return static_cast<std::uint32_t>(lo) |
+         (static_cast<std::uint32_t>(hi) << 16);
+}
+
+std::uint64_t Decoder::read_u64() {
+  const auto lo = read_u32();
+  const auto hi = read_u32();
+  return static_cast<std::uint64_t>(lo) |
+         (static_cast<std::uint64_t>(hi) << 32);
+}
+
+bool Decoder::read_bool() {
+  const auto v = read_u8();
+  if (v > 1) throw DecodeError("invalid bool value");
+  return v != 0;
+}
+
+std::uint64_t Decoder::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw DecodeError("varint too long");
+    const auto b = read_u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::int64_t Decoder::read_i64() {
+  const auto u = read_varint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double Decoder::read_double() { return std::bit_cast<double>(read_u64()); }
+
+std::string Decoder::read_string() {
+  const auto n = read_varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> Decoder::read_bytes() {
+  const auto n = read_varint();
+  need(n);
+  std::vector<std::uint8_t> b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              data_.begin() +
+                                  static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+std::uint64_t Decoder::read_count() {
+  const auto n = read_varint();
+  if (n > remaining()) {
+    throw DecodeError("collection count " + std::to_string(n) +
+                      " exceeds remaining buffer (" +
+                      std::to_string(remaining()) + " bytes)");
+  }
+  return n;
+}
+
+void Decoder::expect_end() const {
+  if (!at_end()) {
+    throw DecodeError("trailing bytes after decode: " +
+                      std::to_string(remaining()));
+  }
+}
+
+}  // namespace mar::serial

@@ -1,0 +1,55 @@
+// Binary decoder matching serial::Encoder.
+//
+// All reads are bounds-checked; a malformed buffer raises DecodeError
+// rather than reading out of bounds. Decoding failures indicate corrupted
+// stable storage or a protocol bug, both of which are fatal for the
+// affected message, so an exception is the appropriate channel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mar::serial {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  bool read_bool();
+  std::uint64_t read_varint();
+  std::int64_t read_i64();
+  double read_double();
+  std::string read_string();
+  std::vector<std::uint8_t> read_bytes();
+  /// A collection length prefix. Every element costs at least one byte on
+  /// the wire, so a count exceeding the remaining buffer is malformed —
+  /// checked HERE, before the caller sizes a container from it (a flipped
+  /// length byte must not trigger a gigantic allocation).
+  std::uint64_t read_count();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+  /// Assert the buffer has been fully consumed (catches framing bugs).
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mar::serial

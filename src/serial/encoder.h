@@ -1,0 +1,52 @@
+// Binary encoder for agent state capture.
+//
+// Mole relied on Java object serialization to capture an agent's code and
+// data before migration; this library replaces that with an explicit,
+// versioned little-endian wire format. Sizes produced by the encoder are
+// byte-accurate, which the migration-cost experiments (E1, E4) depend on.
+//
+// Format primitives:
+//   - fixed-width little-endian integers (u8/u16/u32/u64)
+//   - LEB128 varints for lengths and optionally-small values
+//   - zigzag varints for signed integers
+//   - IEEE-754 doubles (bit pattern as u64)
+//   - length-prefixed strings / byte blobs
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mar::serial {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void write_u8(std::uint8_t v);
+  void write_u16(std::uint16_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_bool(bool v);
+  /// Unsigned LEB128 varint.
+  void write_varint(std::uint64_t v);
+  /// Zigzag-encoded signed varint.
+  void write_i64(std::int64_t v);
+  void write_double(double v);
+  /// Varint length followed by raw bytes.
+  void write_string(std::string_view s);
+  void write_bytes(std::span<const std::uint8_t> b);
+
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace mar::serial

@@ -1,0 +1,87 @@
+// Serializable interface and polymorphic type registry.
+//
+// Agent migration captures "the agent object with code and all private
+// data" (paper Sec. 2). In this C++ reproduction, *code* mobility is
+// modeled by a type registry shared by all nodes: the wire format carries
+// a type name, and the receiving node re-instantiates the object through
+// the registered factory — faithful to how Mole shipped classes both
+// endpoints already knew.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "util/check.h"
+
+namespace mar::serial {
+
+/// An object whose full state can be captured into bytes and restored.
+class Serializable {
+ public:
+  virtual ~Serializable() = default;
+
+  /// Append this object's state to the encoder.
+  virtual void serialize(Encoder& enc) const = 0;
+  /// Restore this object's state from the decoder.
+  virtual void deserialize(Decoder& dec) = 0;
+};
+
+/// Convenience: serialize to a fresh byte vector.
+template <typename T>
+[[nodiscard]] Bytes to_bytes(const T& obj) {
+  Encoder enc;
+  obj.serialize(enc);
+  return std::move(enc).take();
+}
+
+/// Convenience: deserialize a default-constructible object from bytes.
+template <typename T>
+[[nodiscard]] T from_bytes(std::span<const std::uint8_t> bytes) {
+  T obj;
+  Decoder dec(bytes);
+  obj.deserialize(dec);
+  dec.expect_end();
+  return obj;
+}
+
+/// Registry of polymorphic factories for one base class. Nodes share a
+/// registry instance via the simulation world: registering an agent or
+/// compensating-operation type makes it instantiable everywhere, which
+/// models code availability across the agent system.
+template <typename Base>
+class TypeRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Base>()>;
+
+  void register_type(std::string name, Factory factory) {
+    MAR_CHECK_MSG(!factories_.contains(name),
+                  "duplicate type registration: " << name);
+    factories_.emplace(std::move(name), std::move(factory));
+  }
+
+  template <typename Derived>
+  void register_type(std::string name) {
+    register_type(std::move(name),
+                  [] { return std::make_unique<Derived>(); });
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return factories_.find(std::string(name)) != factories_.end();
+  }
+
+  [[nodiscard]] std::unique_ptr<Base> create(std::string_view name) const {
+    auto it = factories_.find(std::string(name));
+    MAR_CHECK_MSG(it != factories_.end(), "unknown type: " << name);
+    return it->second();
+  }
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace mar::serial

@@ -1,0 +1,51 @@
+#include "sim/simulator.h"
+
+#include "util/check.h"
+
+namespace mar::sim {
+
+void Simulator::schedule_at(TimeUs at, Action action) {
+  MAR_CHECK_MSG(at >= now_, "scheduling into the past: " << at << " < "
+                                                         << now_);
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(TimeUs delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out, so
+  // copy the small fields first and pop before running (the action may
+  // schedule further events).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+TimeUs Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Simulator::run_until(TimeUs t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (step()) {
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace mar::sim

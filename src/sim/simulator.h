@@ -1,0 +1,74 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The original system ran on a LAN of workstations; this reproduction runs
+// the same protocols over a simulated network so that every experiment is
+// deterministic and fault injection is precise. All components (network,
+// transaction timeouts, retransmission timers, node recovery) schedule
+// closures on this kernel. Time is in integer microseconds.
+//
+// Events at the same timestamp run in scheduling order (a monotone sequence
+// number breaks ties), so a run is a pure function of the initial seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mar::sim {
+
+using TimeUs = std::uint64_t;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time in microseconds.
+  [[nodiscard]] TimeUs now() const { return now_; }
+
+  /// Schedule `action` to run at absolute time `at` (>= now).
+  void schedule_at(TimeUs at, Action action);
+
+  /// Schedule `action` to run `delay` microseconds from now.
+  void schedule_after(TimeUs delay, Action action);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains. Returns the final time.
+  TimeUs run();
+
+  /// Run events with time <= t, then set now to t.
+  void run_until(TimeUs t);
+
+  /// Run until either the queue drains or `pred()` becomes true (checked
+  /// after every event). Returns true if pred was satisfied.
+  bool run_while_pending(const std::function<bool()>& pred);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeUs at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace mar::sim

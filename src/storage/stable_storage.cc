@@ -1,0 +1,88 @@
+#include "storage/stable_storage.h"
+
+#include <algorithm>
+
+namespace mar::storage {
+
+void QueueRecord::serialize(serial::Encoder& enc) const {
+  enc.write_u64(record_id);
+  enc.write_u64(agent.value());
+  enc.write_u8(static_cast<std::uint8_t>(kind));
+  enc.write_u32(rollback_target.value());
+  enc.write_u8(static_cast<std::uint8_t>(completion));
+  enc.write_bytes(payload);
+}
+
+void QueueRecord::deserialize(serial::Decoder& dec) {
+  record_id = dec.read_u64();
+  agent = AgentId(dec.read_u64());
+  kind = static_cast<RecordKind>(dec.read_u8());
+  rollback_target = SavepointId(dec.read_u32());
+  completion = static_cast<Completion>(dec.read_u8());
+  payload = dec.read_bytes();
+}
+
+std::size_t QueueRecord::byte_size() const {
+  serial::Encoder enc;
+  serialize(enc);
+  return enc.size();
+}
+
+void StableStorage::put(const std::string& key, serial::Bytes value) {
+  stats_.bytes_written += value.size() + key.size();
+  ++stats_.kv_writes;
+  kv_[key] = std::move(value);
+}
+
+std::optional<serial::Bytes> StableStorage::get(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StableStorage::erase(const std::string& key) {
+  return kv_.erase(key) > 0;
+}
+
+bool StableStorage::contains(const std::string& key) const {
+  return kv_.contains(key);
+}
+
+std::vector<std::string> StableStorage::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+void StableStorage::enqueue(QueueRecord record) {
+  if (!seen_records_.insert(record.record_id).second) return;  // duplicate
+  stats_.bytes_written += record.byte_size();
+  ++stats_.queue_ops;
+  queue_.push_back(std::move(record));
+}
+
+bool StableStorage::remove(std::uint64_t record_id) {
+  auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [record_id](const QueueRecord& r) { return r.record_id == record_id; });
+  if (it == queue_.end()) return false;
+  ++stats_.queue_ops;
+  queue_.erase(it);
+  return true;
+}
+
+bool StableStorage::contains_record(std::uint64_t record_id) const {
+  return std::any_of(
+      queue_.begin(), queue_.end(),
+      [record_id](const QueueRecord& r) { return r.record_id == record_id; });
+}
+
+const QueueRecord* StableStorage::front() const {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+}  // namespace mar::storage

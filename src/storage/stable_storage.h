@@ -1,0 +1,102 @@
+// Per-node stable storage.
+//
+// The exactly-once protocols of ref [11] keep the agent "in stable storage
+// between steps": every node has an *agent input queue* on stable storage,
+// and step/compensation transactions stage queue updates that become
+// durable at commit. This module models a node's disk: it survives node
+// crashes (the simulation only resets volatile runtime state), and it
+// meters bytes written so experiments can report logging/savepoint cost.
+//
+// Two facilities:
+//   * a durable key/value area (used for resource state, prepared-
+//     transaction records and commit decisions), and
+//   * the agent input queue of the node, holding self-contained records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "util/ids.h"
+
+namespace mar::storage {
+
+/// What a queued record asks the receiving node to do with the agent.
+enum class RecordKind : std::uint8_t {
+  execute = 0,     ///< run the next step of the itinerary
+  compensate = 1,  ///< run the next compensation transaction (rollback)
+  launch = 2,      ///< route a freshly spawned child agent to its first
+                   ///< step's node (multi-agent executions, Sec. 6)
+};
+
+/// A self-contained unit of agent work parked in a node's input queue:
+/// the serialized agent (with its rollback log) plus routing metadata.
+struct QueueRecord {
+  std::uint64_t record_id = 0;  ///< globally unique; exactly-once dedup
+  AgentId agent;
+  RecordKind kind = RecordKind::execute;
+  /// Target savepoint of an in-progress rollback (invalid when executing).
+  SavepointId rollback_target = SavepointId::invalid();
+  /// What happens when an in-progress rollback reaches its target
+  /// savepoint (carried with the compensate record).
+  enum class Completion : std::uint8_t {
+    resume = 0,     ///< re-execute from the savepoint (Fig. 4a/4b)
+    skip_sub = 1,   ///< abandon the sub-itinerary; resume after it (Sec. 5)
+    cancel = 2,     ///< terminate the agent as `cancelled` (Sec. 6)
+    next_alt = 3,   ///< enter the next alternative of the enclosing
+                    ///< alternatives entry (flexible itineraries, ref [14])
+  };
+  Completion completion = Completion::resume;
+  serial::Bytes payload;  ///< serialized agent state + rollback log
+
+  void serialize(serial::Encoder& enc) const;
+  void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+/// Write metering, reported by the forward-overhead experiment (E8).
+struct StorageStats {
+  std::uint64_t bytes_written = 0;
+  std::uint64_t kv_writes = 0;
+  std::uint64_t queue_ops = 0;
+};
+
+class StableStorage {
+ public:
+  // --- durable key/value --------------------------------------------------
+  void put(const std::string& key, serial::Bytes value);
+  [[nodiscard]] std::optional<serial::Bytes> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// All keys with the given prefix (recovery scans).
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      const std::string& prefix) const;
+
+  // --- agent input queue ---------------------------------------------------
+  /// Append a record. Duplicate record_ids are ignored (exactly-once).
+  void enqueue(QueueRecord record);
+  /// Remove the record with this id. Returns false if absent.
+  bool remove(std::uint64_t record_id);
+  [[nodiscard]] bool contains_record(std::uint64_t record_id) const;
+  [[nodiscard]] const std::deque<QueueRecord>& queue() const { return queue_; }
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  /// Oldest record, if any.
+  [[nodiscard]] const QueueRecord* front() const;
+
+  [[nodiscard]] const StorageStats& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, serial::Bytes> kv_;
+  std::deque<QueueRecord> queue_;
+  /// Ids ever enqueued; dedup must outlive removal so a duplicate commit
+  /// of the same transfer cannot re-insert a consumed record.
+  std::unordered_set<std::uint64_t> seen_records_;
+  StorageStats stats_;
+};
+
+}  // namespace mar::storage

@@ -1,0 +1,71 @@
+#include "tx/queue_manager.h"
+
+namespace mar::tx {
+
+void QueueManager::Staged::serialize(serial::Encoder& enc) const {
+  enc.write_varint(enqueues.size());
+  for (const auto& r : enqueues) r.serialize(enc);
+  enc.write_varint(removes.size());
+  for (const auto id : removes) enc.write_u64(id);
+}
+
+void QueueManager::Staged::deserialize(serial::Decoder& dec) {
+  const auto ne = dec.read_count();
+  enqueues.resize(ne);
+  for (auto& r : enqueues) r.deserialize(dec);
+  const auto nr = dec.read_count();
+  removes.resize(nr);
+  for (auto& id : removes) id = dec.read_u64();
+}
+
+void QueueManager::stage_enqueue(TxId tx, storage::QueueRecord record) {
+  staged_[tx].enqueues.push_back(std::move(record));
+}
+
+void QueueManager::stage_remove(TxId tx, std::uint64_t record_id) {
+  staged_[tx].removes.push_back(record_id);
+}
+
+bool QueueManager::has_tx(TxId tx) const { return staged_.contains(tx); }
+
+bool QueueManager::prepare(TxId tx) {
+  auto it = staged_.find(tx);
+  if (it == staged_.end()) return false;
+  if (it->second.prepared) return true;  // idempotent
+  serial::Encoder enc;
+  it->second.serialize(enc);
+  stable_.put(prep_key(tx), std::move(enc).take());
+  it->second.prepared = true;
+  return true;
+}
+
+void QueueManager::commit(TxId tx) {
+  auto it = staged_.find(tx);
+  if (it == staged_.end()) return;  // idempotent
+  for (auto& r : it->second.enqueues) stable_.enqueue(std::move(r));
+  for (const auto id : it->second.removes) stable_.remove(id);
+  stable_.erase(prep_key(tx));
+  staged_.erase(it);
+}
+
+void QueueManager::abort(TxId tx) {
+  staged_.erase(tx);
+  stable_.erase(prep_key(tx));
+}
+
+void QueueManager::on_crash() {
+  // Volatile (unprepared) staging evaporates with the crash; prepared
+  // staging is reloaded from stable storage.
+  staged_.clear();
+  for (const auto& key : stable_.keys_with_prefix("prep.queue:")) {
+    const TxId tx(std::stoull(key.substr(11)));
+    const auto bytes = stable_.get(key);
+    serial::Decoder dec(*bytes);
+    Staged s;
+    s.deserialize(dec);
+    s.prepared = true;
+    staged_.emplace(tx, std::move(s));
+  }
+}
+
+}  // namespace mar::tx

@@ -1,0 +1,55 @@
+// Transactional access to a node's agent input queue.
+//
+// Step and compensation transactions move the agent between stable input
+// queues (paper Sec. 2): removal from the executing node's queue and
+// insertion into the next node's queue are staged here and applied at
+// commit. The agent therefore remains in the source queue across any crash
+// until the transaction commits — the foundation of both the exactly-once
+// protocol and the rollback algorithm's restartability.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "storage/stable_storage.h"
+#include "tx/participant.h"
+#include "util/ids.h"
+
+namespace mar::tx {
+
+class QueueManager final : public Participant {
+ public:
+  explicit QueueManager(storage::StableStorage& stable) : stable_(stable) {}
+
+  /// Stage "append this record to the local queue at commit".
+  void stage_enqueue(TxId tx, storage::QueueRecord record);
+  /// Stage "remove this record from the local queue at commit".
+  void stage_remove(TxId tx, std::uint64_t record_id);
+
+  // Participant interface.
+  [[nodiscard]] std::string name() const override { return "queue"; }
+  [[nodiscard]] bool has_tx(TxId tx) const override;
+  bool prepare(TxId tx) override;
+  void commit(TxId tx) override;
+  void abort(TxId tx) override;
+  void on_crash() override;
+
+ private:
+  struct Staged {
+    std::vector<storage::QueueRecord> enqueues;
+    std::vector<std::uint64_t> removes;
+    bool prepared = false;
+
+    void serialize(serial::Encoder& enc) const;
+    void deserialize(serial::Decoder& dec);
+  };
+
+  [[nodiscard]] std::string prep_key(TxId tx) const {
+    return "prep.queue:" + std::to_string(tx.value());
+  }
+
+  storage::StableStorage& stable_;
+  std::map<TxId, Staged> staged_;
+};
+
+}  // namespace mar::tx

@@ -1,0 +1,370 @@
+#include "tx/tx_manager.h"
+
+#include <algorithm>
+
+#include "serial/decoder.h"
+#include "serial/encoder.h"
+#include "util/check.h"
+
+namespace mar::tx {
+
+namespace {
+
+serial::Bytes encode_tx(TxId tx, bool flag) {
+  serial::Encoder enc;
+  enc.write_u64(tx.value());
+  enc.write_bool(flag);
+  return std::move(enc).take();
+}
+
+std::pair<TxId, bool> decode_tx(const net::Message& m) {
+  serial::Decoder dec(m.payload);
+  TxId tx(dec.read_u64());
+  const bool flag = dec.read_bool();
+  dec.expect_end();
+  return {tx, flag};
+}
+
+}  // namespace
+
+TxManager::TxManager(NodeId self, sim::Simulator& sim, net::Network& net,
+                     storage::StableStorage& stable)
+    : self_(self), sim_(sim), net_(net), stable_(stable) {}
+
+void TxManager::register_participant(Participant& p) {
+  participants_.push_back(&p);
+}
+
+std::string TxManager::decision_key(TxId tx) const {
+  return "txdec:" + std::to_string(tx.value());
+}
+
+std::string TxManager::prepared_key(TxId tx) const {
+  return "txprep:" + std::to_string(tx.value());
+}
+
+// --------------------------------------------------------------------------
+// Coordinator side
+// --------------------------------------------------------------------------
+
+TxId TxManager::begin() {
+  const TxId tx = make_tx_id(self_, next_tx_++);
+  coords_.emplace(tx, Coord{});
+  return tx;
+}
+
+void TxManager::enlist_remote(TxId tx, NodeId node) {
+  if (node == self_) return;
+  auto it = coords_.find(tx);
+  MAR_CHECK_MSG(it != coords_.end(), "enlist on unknown tx " << tx);
+  it->second.remotes.insert(node);
+}
+
+bool TxManager::has_remote(TxId tx, NodeId node) const {
+  auto it = coords_.find(tx);
+  return it != coords_.end() && it->second.remotes.contains(node);
+}
+
+bool TxManager::prepare_locals(TxId tx) {
+  bool any = false;
+  bool ok = true;
+  for (auto* p : participants_) {
+    if (!p->has_tx(tx)) continue;
+    any = true;
+    ok = p->prepare(tx) && ok;
+  }
+  if (any && ok) persist_prepared_marker(tx);
+  return ok;
+}
+
+void TxManager::commit_locals(TxId tx) {
+  for (auto* p : participants_) p->commit(tx);
+  clear_prepared_marker(tx);
+}
+
+void TxManager::abort_locals(TxId tx) {
+  for (auto* p : participants_) p->abort(tx);
+  clear_prepared_marker(tx);
+}
+
+void TxManager::persist_decision(TxId tx, const std::set<NodeId>& remotes) {
+  serial::Encoder enc;
+  enc.write_varint(remotes.size());
+  for (const auto n : remotes) enc.write_u32(n.value());
+  stable_.put(decision_key(tx), std::move(enc).take());
+}
+
+void TxManager::send(NodeId to, const char* type, TxId tx, bool flag) {
+  net_.send(net::Message{self_, to, type, encode_tx(tx, flag)});
+}
+
+void TxManager::commit_async(TxId tx, CommitCallback cb) {
+  auto it = coords_.find(tx);
+  MAR_CHECK_MSG(it != coords_.end(), "commit on unknown tx " << tx);
+  Coord& c = it->second;
+  c.callback = std::move(cb);
+
+  if (!prepare_locals(tx)) {
+    decide_abort(tx, c);
+    return;
+  }
+  if (c.remotes.empty()) {
+    commit_locals(tx);
+    finish(tx, c, true);
+    return;
+  }
+  c.phase = Phase::preparing;
+  c.votes_pending = c.remotes;
+  for (const auto n : c.remotes) send(n, msg::prepare, tx);
+  // Re-drive PREPARE until all votes arrive: a participant that crashed
+  // before staging will answer NO, resolving the transaction either way.
+  const auto epoch = epoch_;
+  auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
+    if (epoch != epoch_) return;
+    auto cit = coords_.find(tx);
+    if (cit == coords_.end() || cit->second.phase != Phase::preparing) return;
+    for (const auto n : cit->second.votes_pending) send(n, msg::prepare, tx);
+    sim_.schedule_after(inquiry_interval_,
+                        [self_fn]() mutable { self_fn(self_fn); });
+  };
+  sim_.schedule_after(inquiry_interval_,
+                      [redrive]() mutable { redrive(redrive); });
+}
+
+void TxManager::abort_tx(TxId tx) {
+  auto it = coords_.find(tx);
+  MAR_CHECK_MSG(it != coords_.end(), "abort on unknown tx " << tx);
+  decide_abort(tx, it->second);
+}
+
+void TxManager::decide_commit(TxId tx, Coord& c) {
+  persist_decision(tx, c.remotes);
+  commit_locals(tx);
+  c.phase = Phase::committing;
+  c.acks_pending = c.remotes;
+  for (const auto n : c.remotes) send(n, msg::commit, tx);
+  // Re-drive COMMIT until every participant acknowledged.
+  const auto epoch = epoch_;
+  auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
+    if (epoch != epoch_) return;
+    auto cit = coords_.find(tx);
+    if (cit == coords_.end() || cit->second.phase != Phase::committing) return;
+    for (const auto n : cit->second.acks_pending) send(n, msg::commit, tx);
+    sim_.schedule_after(inquiry_interval_,
+                        [self_fn]() mutable { self_fn(self_fn); });
+  };
+  sim_.schedule_after(inquiry_interval_,
+                      [redrive]() mutable { redrive(redrive); });
+}
+
+void TxManager::decide_abort(TxId tx, Coord& c) {
+  abort_locals(tx);
+  for (const auto n : c.remotes) send(n, msg::abort, tx);
+  finish(tx, c, false);
+}
+
+void TxManager::finish(TxId tx, Coord& c, bool committed) {
+  auto cb = std::move(c.callback);
+  coords_.erase(tx);
+  if (cb) cb(committed);
+}
+
+// --------------------------------------------------------------------------
+// Participant side
+// --------------------------------------------------------------------------
+
+void TxManager::persist_prepared_marker(TxId tx) {
+  stable_.put(prepared_key(tx), {});
+}
+
+void TxManager::clear_prepared_marker(TxId tx) {
+  stable_.erase(prepared_key(tx));
+}
+
+void TxManager::note_remote_staged(TxId tx) {
+  const NodeId coord = coordinator_of(tx);
+  if (coord == self_) return;
+  if (in_doubt_.emplace(tx, coord).second) schedule_inquiry(tx);
+}
+
+void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
+  bool any = false;
+  bool ok = true;
+  for (auto* p : participants_) {
+    if (!p->has_tx(tx)) continue;
+    any = true;
+    ok = p->prepare(tx) && ok;
+  }
+  if (!any) {
+    // Nothing staged: either this node crashed and lost the staged state,
+    // or the transaction already finished here. Vote NO; a duplicate
+    // PREPARE after commit cannot happen because the coordinator stops
+    // re-driving PREPARE once decided.
+    send(coordinator, msg::vote, tx, false);
+    return;
+  }
+  if (ok) {
+    persist_prepared_marker(tx);
+    in_doubt_.emplace(tx, coordinator);
+    schedule_inquiry(tx);
+  }
+  send(coordinator, msg::vote, tx, ok);
+}
+
+void TxManager::handle_commit(TxId tx, NodeId coordinator) {
+  commit_locals(tx);
+  in_doubt_.erase(tx);
+  send(coordinator, msg::commit_ack, tx);
+}
+
+void TxManager::handle_abort(TxId tx) {
+  abort_locals(tx);
+  in_doubt_.erase(tx);
+}
+
+void TxManager::handle_inquiry(TxId tx, NodeId from) {
+  if (stable_.contains(decision_key(tx))) {
+    send(from, msg::decision, tx, true);
+    return;
+  }
+  if (coords_.contains(tx)) return;  // still deciding; stay silent
+  send(from, msg::decision, tx, false);  // presumed abort
+}
+
+void TxManager::handle_decision(TxId tx, bool committed) {
+  if (committed) {
+    commit_locals(tx);
+    in_doubt_.erase(tx);
+    send(coordinator_of(tx), msg::commit_ack, tx);
+  } else {
+    handle_abort(tx);
+  }
+}
+
+void TxManager::schedule_inquiry(TxId tx) {
+  const auto epoch = epoch_;
+  auto again = [this, tx, epoch](auto&& self_fn) -> void {
+    if (epoch != epoch_) return;
+    auto it = in_doubt_.find(tx);
+    if (it == in_doubt_.end()) return;
+    send(it->second, msg::inquiry, tx);
+    sim_.schedule_after(inquiry_interval_,
+                        [self_fn]() mutable { self_fn(self_fn); });
+  };
+  sim_.schedule_after(inquiry_interval_,
+                      [again]() mutable { again(again); });
+}
+
+// --------------------------------------------------------------------------
+// Message dispatch and crash/recovery
+// --------------------------------------------------------------------------
+
+void TxManager::on_message(const net::Message& m) {
+  const auto [tx, flag] = decode_tx(m);
+  const std::string& t = m.type;
+  if (t == msg::prepare) {
+    handle_prepare(tx, m.from);
+  } else if (t == msg::vote) {
+    auto it = coords_.find(tx);
+    if (it == coords_.end()) {
+      // Already decided (or coordinator recovered). A YES voter is left
+      // prepared: answer from durable decision state.
+      if (flag) handle_inquiry(tx, m.from);
+      return;
+    }
+    Coord& c = it->second;
+    if (c.phase != Phase::preparing) return;  // stale duplicate
+    if (!flag) {
+      decide_abort(tx, c);
+      return;
+    }
+    c.votes_pending.erase(m.from);
+    if (c.votes_pending.empty()) decide_commit(tx, c);
+  } else if (t == msg::commit) {
+    handle_commit(tx, m.from);
+  } else if (t == msg::commit_ack) {
+    auto it = coords_.find(tx);
+    if (it == coords_.end()) return;
+    Coord& c = it->second;
+    if (c.phase != Phase::committing) return;
+    c.acks_pending.erase(m.from);
+    if (c.acks_pending.empty()) {
+      stable_.erase(decision_key(tx));
+      finish(tx, c, true);
+    }
+  } else if (t == msg::abort) {
+    handle_abort(tx);
+  } else if (t == msg::inquiry) {
+    handle_inquiry(tx, m.from);
+  } else if (t == msg::decision) {
+    handle_decision(tx, flag);
+  } else {
+    MAR_CHECK_MSG(false, "unknown tx message type " << t);
+  }
+}
+
+void TxManager::on_crash() {
+  ++epoch_;
+  coords_.clear();
+  in_doubt_.clear();
+  for (auto* p : participants_) p->on_crash();
+}
+
+void TxManager::on_recover() {
+  ++epoch_;
+  // Participant side: resolve prepared transactions.
+  for (const auto& key : stable_.keys_with_prefix("txprep:")) {
+    const TxId tx(std::stoull(key.substr(7)));
+    const NodeId coord = coordinator_of(tx);
+    if (coord == self_) {
+      if (!stable_.contains(decision_key(tx))) {
+        // Presumed abort: this node coordinated, crashed before deciding.
+        abort_locals(tx);
+      }
+      // Decided transactions are re-driven below.
+    } else {
+      in_doubt_.emplace(tx, coord);
+      schedule_inquiry(tx);
+    }
+  }
+  // Coordinator side: re-drive every decided-but-unfinished transaction.
+  for (const auto& key : stable_.keys_with_prefix("txdec:")) {
+    const TxId tx(std::stoull(key.substr(6)));
+    const auto record = stable_.get(key);
+    MAR_CHECK(record.has_value());
+    serial::Decoder dec(*record);
+    const auto n = dec.read_varint();
+    Coord c;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      c.remotes.insert(NodeId(dec.read_u32()));
+    }
+    c.phase = Phase::committing;
+    c.acks_pending = c.remotes;
+    commit_locals(tx);
+    for (const auto node : c.remotes) send(node, msg::commit, tx);
+    auto [it, inserted] = coords_.emplace(tx, std::move(c));
+    MAR_CHECK(inserted);
+    // Re-arm the COMMIT re-drive loop.
+    const auto epoch = epoch_;
+    auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
+      if (epoch != epoch_) return;
+      auto cit = coords_.find(tx);
+      if (cit == coords_.end()) return;
+      for (const auto node : cit->second.acks_pending) {
+        send(node, msg::commit, tx);
+      }
+      sim_.schedule_after(inquiry_interval_,
+                          [self_fn]() mutable { self_fn(self_fn); });
+    };
+    sim_.schedule_after(inquiry_interval_,
+                        [redrive]() mutable { redrive(redrive); });
+  }
+}
+
+bool TxManager::idle() const {
+  if (!coords_.empty() || !in_doubt_.empty()) return false;
+  return stable_.keys_with_prefix("txdec:").empty() &&
+         stable_.keys_with_prefix("txprep:").empty();
+}
+
+}  // namespace mar::tx

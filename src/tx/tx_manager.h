@@ -1,0 +1,153 @@
+// Distributed transactions: coordinator and participant endpoints.
+//
+// Step transactions and compensation transactions in the paper are
+// (potentially distributed) ACID transactions: a step's resource updates,
+// the removal of the agent from the local input queue and its insertion
+// into the next node's input queue commit atomically (Sec. 2). This module
+// provides that with two-phase commit, presumed abort:
+//
+//   * local-only transactions take a one-phase fast path;
+//   * with remote participants, the coordinator prepares its local
+//     participants (persisting their staged effects), collects votes,
+//     persists a commit decision record, then drives COMMIT until every
+//     remote acknowledges — re-driving from the decision record after a
+//     coordinator crash;
+//   * participants persist prepared state; in-doubt participants
+//     periodically send an INQUIRY to the coordinator, which answers from
+//     its decision records (no record ⇒ presumed abort).
+//
+// All message exchange uses the reliable network layer, so transient node
+// and link failures only delay the outcome — the property the paper's
+// rollback liveness argument builds on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.h"
+#include "storage/stable_storage.h"
+#include "sim/simulator.h"
+#include "tx/participant.h"
+#include "util/ids.h"
+#include "util/result.h"
+
+namespace mar::tx {
+
+/// Builds the TxId for the `n`-th transaction coordinated by `node`.
+[[nodiscard]] constexpr TxId make_tx_id(NodeId node, std::uint64_t counter) {
+  return TxId((static_cast<std::uint64_t>(node.value()) << 40) | counter);
+}
+/// Extracts the coordinating node from a TxId.
+[[nodiscard]] constexpr NodeId coordinator_of(TxId tx) {
+  return NodeId(static_cast<std::uint32_t>(tx.value() >> 40));
+}
+
+/// Message type tags understood by TxManager::on_message.
+namespace msg {
+inline constexpr const char* prepare = "tx.prepare";
+inline constexpr const char* vote = "tx.vote";
+inline constexpr const char* commit = "tx.commit";
+inline constexpr const char* commit_ack = "tx.commit_ack";
+inline constexpr const char* abort = "tx.abort";
+inline constexpr const char* inquiry = "tx.inquiry";
+inline constexpr const char* decision = "tx.decision";
+}  // namespace msg
+
+class TxManager {
+ public:
+  using CommitCallback = std::function<void(bool committed)>;
+
+  TxManager(NodeId self, sim::Simulator& sim, net::Network& net,
+            storage::StableStorage& stable);
+
+  /// Register a participant living on this node (queue manager, resource
+  /// manager). Remote PREPARE/COMMIT/ABORT is fanned out to all registered
+  /// participants that hold state for the transaction.
+  void register_participant(Participant& p);
+
+  // --- coordinator side ----------------------------------------------------
+  [[nodiscard]] TxId begin();
+  /// Record that `node` holds staged state for `tx` (it must be told the
+  /// outcome). Safe to call repeatedly.
+  void enlist_remote(TxId tx, NodeId node);
+  [[nodiscard]] bool has_remote(TxId tx, NodeId node) const;
+  /// Drive the commit protocol; invokes `cb` exactly once unless this node
+  /// crashes first (after a crash, recovery finishes the protocol without
+  /// the callback — callers recover through their own durable state).
+  void commit_async(TxId tx, CommitCallback cb);
+  /// Abort a transaction this node coordinates.
+  void abort_tx(TxId tx);
+
+  // --- participant side -----------------------------------------------------
+  /// Note that a remote coordinator staged state at this node (e.g. an
+  /// agent enqueue or shipped compensating operations). Starts the in-doubt
+  /// inquiry timer so an orphaned transaction is eventually presumed
+  /// aborted and its staged state (and locks) released.
+  void note_remote_staged(TxId tx);
+
+  // --- wiring ---------------------------------------------------------------
+  /// Dispatch one tx.* message (the platform owns the node's handler).
+  void on_message(const net::Message& m);
+  /// Crash/recovery hooks, called by the platform's node runtime.
+  void on_crash();
+  void on_recover();
+
+  /// True while this node coordinates unfinished transactions or holds
+  /// prepared participant state (used by tests to detect quiescence).
+  [[nodiscard]] bool idle() const;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+
+  /// Interval at which in-doubt participants re-ask the coordinator.
+  void set_inquiry_interval(sim::TimeUs t) { inquiry_interval_ = t; }
+
+ private:
+  enum class Phase { preparing, committing };
+  struct Coord {
+    std::set<NodeId> remotes;
+    std::set<NodeId> votes_pending;
+    std::set<NodeId> acks_pending;
+    Phase phase = Phase::preparing;
+    CommitCallback callback;
+  };
+
+  // Coordinator internals.
+  void decide_commit(TxId tx, Coord& c);
+  void decide_abort(TxId tx, Coord& c);
+  void finish(TxId tx, Coord& c, bool committed);
+  bool prepare_locals(TxId tx);
+  void commit_locals(TxId tx);
+  void abort_locals(TxId tx);
+  void persist_decision(TxId tx, const std::set<NodeId>& remotes);
+  void send(NodeId to, const char* type, TxId tx, bool flag = false);
+
+  // Participant internals.
+  void handle_prepare(TxId tx, NodeId coordinator);
+  void handle_commit(TxId tx, NodeId coordinator);
+  void handle_abort(TxId tx);
+  void handle_inquiry(TxId tx, NodeId from);
+  void handle_decision(TxId tx, bool committed);
+  void persist_prepared_marker(TxId tx);
+  void clear_prepared_marker(TxId tx);
+  void schedule_inquiry(TxId tx);
+
+  [[nodiscard]] std::string decision_key(TxId tx) const;
+  [[nodiscard]] std::string prepared_key(TxId tx) const;
+
+  NodeId self_;
+  sim::Simulator& sim_;
+  net::Network& net_;
+  storage::StableStorage& stable_;
+  std::vector<Participant*> participants_;
+  std::map<TxId, Coord> coords_;
+  /// Transactions this node has prepared as a participant and whose
+  /// outcome is still unknown (coordinator field for inquiries).
+  std::map<TxId, NodeId> in_doubt_;
+  std::uint64_t next_tx_ = 1;
+  sim::TimeUs inquiry_interval_ = 200'000;  // 200 ms
+  std::uint64_t epoch_ = 0;  ///< bumped on crash; cancels stale timers
+};
+
+}  // namespace mar::tx

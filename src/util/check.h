@@ -1,0 +1,46 @@
+// Lightweight contract checking for the mar library.
+//
+// MAR_CHECK is used for preconditions and invariants that indicate a
+// programming error when violated; it throws mar::LogicError so that tests
+// can observe violations deterministically (the library is exercised inside
+// a single-threaded simulation, so stack unwinding is always safe).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mar {
+
+/// Thrown when an internal invariant or precondition is violated.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MAR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw LogicError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mar
+
+#define MAR_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::mar::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MAR_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream mar_check_os;                                \
+      mar_check_os << msg;                                            \
+      ::mar::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                  mar_check_os.str());                \
+    }                                                                 \
+  } while (false)

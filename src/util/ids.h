@@ -1,0 +1,66 @@
+// Strongly typed identifiers used across the library.
+//
+// Distinct tag types prevent accidentally passing, say, a transaction id
+// where a node id is expected (Core Guidelines I.4: make interfaces
+// precisely and strongly typed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mar {
+
+/// A strongly typed integral identifier. `Tag` only disambiguates the type.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+  static constexpr Rep invalid_rep = static_cast<Rep>(-1);
+  static constexpr StrongId invalid() { return StrongId(invalid_rep); }
+
+ private:
+  Rep value_ = invalid_rep;
+};
+
+struct NodeIdTag {};
+struct AgentIdTag {};
+struct TxIdTag {};
+struct SavepointIdTag {};
+struct MsgIdTag {};
+
+/// Identifies a network node (an agent server in Mole terminology).
+using NodeId = StrongId<NodeIdTag, std::uint32_t>;
+/// Identifies an agent instance.
+using AgentId = StrongId<AgentIdTag, std::uint64_t>;
+/// Identifies a (possibly distributed) transaction.
+using TxId = StrongId<TxIdTag, std::uint64_t>;
+/// Identifies an agent savepoint (unique within one agent's execution).
+using SavepointId = StrongId<SavepointIdTag, std::uint32_t>;
+/// Identifies a network message (for reliable-transport dedup).
+using MsgId = StrongId<MsgIdTag, std::uint64_t>;
+
+}  // namespace mar
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<mar::StrongId<Tag, Rep>> {
+  size_t operator()(mar::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

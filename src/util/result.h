@@ -1,0 +1,151 @@
+// Status / Result<T>: expected-style error propagation for *anticipated*
+// failures (lock conflicts, aborted transactions, failing compensations).
+//
+// Programming errors use MAR_CHECK (exceptions); environmental failures the
+// algorithms must react to use Status codes, because the paper's protocols
+// branch on them (e.g. a failing compensation transaction is retried, a
+// lock conflict aborts a step transaction which is then restarted).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace mar {
+
+/// Error categories surfaced by the substrate and the rollback machinery.
+enum class Errc {
+  ok = 0,
+  /// Lock could not be acquired: the enclosing transaction must abort.
+  lock_conflict,
+  /// The transaction was aborted (explicitly or by a crash).
+  tx_aborted,
+  /// Referenced entity (resource, account, queue record, ...) not found.
+  not_found,
+  /// Operation arguments violate a resource's rules (e.g. overdraft).
+  rejected,
+  /// A compensating operation failed (Sec. 3.2: compensation may fail).
+  compensation_failed,
+  /// The target node is unreachable (crashed / partitioned).
+  unreachable,
+  /// The operation is not permitted in the current context, e.g. accessing
+  /// strongly reversible objects from a compensating operation (Sec. 4.3).
+  forbidden,
+  /// Serialization / deserialization failure.
+  codec_error,
+  /// The step contains a non-compensatable operation (Sec. 3.2).
+  not_compensatable,
+  /// Itinerary is malformed (e.g. step entries in the main itinerary).
+  invalid_itinerary,
+  /// Internal protocol violation.
+  protocol_error,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::lock_conflict: return "lock_conflict";
+    case Errc::tx_aborted: return "tx_aborted";
+    case Errc::not_found: return "not_found";
+    case Errc::rejected: return "rejected";
+    case Errc::compensation_failed: return "compensation_failed";
+    case Errc::unreachable: return "unreachable";
+    case Errc::forbidden: return "forbidden";
+    case Errc::codec_error: return "codec_error";
+    case Errc::not_compensatable: return "not_compensatable";
+    case Errc::invalid_itinerary: return "invalid_itinerary";
+    case Errc::protocol_error: return "protocol_error";
+  }
+  return "unknown";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Errc e) {
+  return os << to_string(e);
+}
+
+/// Outcome of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(Errc code, std::string message = {})  // NOLINT(google-explicit-constructor)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Errc::ok; }
+  [[nodiscard]] Errc code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s{mar::to_string(code_)};
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& s, Errc e) { return s.code_ == e; }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.to_string();
+}
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    MAR_CHECK_MSG(!std::get<Status>(data_).is_ok(),
+                  "Result constructed from an ok Status without a value");
+  }
+  Result(Errc code, std::string message = {})  // NOLINT
+      : data_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+  [[nodiscard]] Errc code() const { return status().code(); }
+
+  [[nodiscard]] const T& value() const& {
+    MAR_CHECK_MSG(is_ok(), "Result::value() on error: " << status());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    MAR_CHECK_MSG(is_ok(), "Result::value() on error: " << status());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    MAR_CHECK_MSG(is_ok(), "Result::take() on error: " << status());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Early-return helper: propagate a non-ok Status from the current function.
+#define MAR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::mar::Status mar_status_ = (expr);            \
+    if (!mar_status_.is_ok()) return mar_status_;  \
+  } while (false)
+
+}  // namespace mar

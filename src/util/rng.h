@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulation (fault plans, workload
+// generators, property tests) draws from this generator so that every run
+// is reproducible from a single seed. The engine is splitmix64-seeded
+// xoshiro256**, which is small, fast and statistically solid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mar {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for sub-components).
+  Rng split();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace mar

@@ -1,0 +1,217 @@
+// Adaptive rollback strategy (Sec. 4.4.1 "Further optimizations"): the
+// platform weighs migrating the agent against shipping a mixed step's
+// operation entries + weak-state snapshot to the resource node, using the
+// ref [16] cost structure on the actual link parameters.
+#include <gtest/gtest.h>
+
+#include "harness/agents.h"
+#include "harness/world.h"
+
+namespace mar {
+namespace {
+
+using agent::Itinerary;
+using agent::PlatformConfig;
+using agent::RollbackStrategy;
+using harness::TestWorld;
+using harness::WorkloadAgent;
+using harness::register_workload;
+
+Itinerary single_sub(std::vector<std::pair<std::string, int>> steps) {
+  Itinerary sub;
+  for (auto& [method, node] : steps) sub.step(method, TestWorld::n(node));
+  Itinerary main;
+  main.sub(std::move(sub));
+  return main;
+}
+
+struct RunOutcome {
+  bool done = false;
+  std::uint64_t rollback_transfers = 0;
+  std::uint64_t mixed_ships = 0;
+  std::int64_t touches = 0;
+  serial::Value strong;
+  std::map<int, serial::Value> dir;
+};
+
+/// A run whose rollback crosses `mixed_steps` mixed steps. `strong_bytes`
+/// pads the strongly reversible state (which only the MIGRATE option has
+/// to carry); `weak_bytes` pads the weakly reversible state (which the
+/// SHIP option pays for twice — to the resource node and back — while a
+/// migration carries it once). The rollback trigger `mode` is "sub"
+/// (re-execute the sub afterwards) or "abandon" (skip it).
+RunOutcome run(RollbackStrategy strategy, int mixed_steps,
+               std::int64_t strong_bytes, std::int64_t weak_bytes,
+               const std::string& mode = "sub") {
+  PlatformConfig cfg;
+  cfg.strategy = strategy;
+  TestWorld w(cfg, mixed_steps + 2, 11);
+  register_workload(w.platform);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  std::vector<std::pair<std::string, int>> steps;
+  steps.emplace_back(strong_bytes >= weak_bytes ? "grow_strong" : "grow_weak",
+                     1);
+  for (int i = 0; i < mixed_steps; ++i) {
+    steps.emplace_back("touch_mixed", 2 + i);
+  }
+  steps.emplace_back("noop", mixed_steps + 2);
+  agent->itinerary() = single_sub(std::move(steps));
+  agent->set_trigger("noop", mixed_steps + 2, mode, 0);
+  agent->set_config("strong_bytes", strong_bytes);
+  agent->set_config("weak_bytes", weak_bytes);
+  agent->set_config("param_bytes", 16);
+
+  auto id = w.platform.launch(std::move(agent));
+  EXPECT_TRUE(id.is_ok());
+  EXPECT_TRUE(w.platform.run_until_finished(id.value()));
+
+  RunOutcome out;
+  out.done = w.platform.outcome(id.value()).state ==
+             agent::AgentOutcome::State::done;
+  out.rollback_transfers = w.platform.rollback_transfers();
+  out.mixed_ships = w.platform.mixed_ships();
+  if (out.done) {
+    auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+    out.touches = fin->data().weak("touches").as_int();
+    out.strong = fin->data().strong_image();
+  }
+  for (int n = 1; n <= mixed_steps + 2; ++n) {
+    out.dir[n] = w.committed(n, "dir");
+  }
+  return out;
+}
+
+// With a heavyweight agent (fat strong state) and tiny undo parameters,
+// shipping the compensation objects is cheaper than moving the agent: the
+// adaptive strategy must perform zero rollback agent transfers.
+TEST(AdaptiveStrategy, ShipsMixedCompensationForHeavyAgents) {
+  const auto out = run(RollbackStrategy::adaptive, 3,
+                       /*strong_bytes=*/16 * 1024, /*weak_bytes=*/16);
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.rollback_transfers, 0u);
+  EXPECT_EQ(out.mixed_ships, 3u);
+}
+
+// With a bulky WEAK state, shipping pays for it twice (snapshot there,
+// updated snapshot back) while a migration carries it once: migrating
+// wins and no shipments happen.
+TEST(AdaptiveStrategy, MigratesWhenWeakStateDominates) {
+  const auto out = run(RollbackStrategy::adaptive, 3,
+                       /*strong_bytes=*/8, /*weak_bytes=*/32 * 1024);
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.mixed_ships, 0u);
+  EXPECT_GE(out.rollback_transfers, 3u);
+}
+
+// The optimized strategy always migrates for mixed steps, whatever the
+// sizes — the baseline the adaptive decision improves on.
+TEST(AdaptiveStrategy, OptimizedAlwaysMigratesMixedSteps) {
+  const auto out = run(RollbackStrategy::optimized, 3, 16 * 1024, 16);
+  ASSERT_TRUE(out.done);
+  EXPECT_EQ(out.mixed_ships, 0u);
+  EXPECT_GE(out.rollback_transfers, 3u);
+}
+
+// Whatever the decision, the adaptive strategy is a pure optimization: the
+// final augmented state must match the basic algorithm's exactly.
+class AdaptiveEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AdaptiveEquivalence, MatchesBasicAugmentedState) {
+  const auto [strong_kb, weak_kb] = GetParam();
+  const auto a = run(RollbackStrategy::basic, 2, strong_kb * 1024,
+                     weak_kb * 1024 + 16);
+  const auto b = run(RollbackStrategy::adaptive, 2, strong_kb * 1024,
+                     weak_kb * 1024 + 16);
+  ASSERT_TRUE(a.done && b.done);
+  EXPECT_EQ(a.touches, b.touches);
+  EXPECT_EQ(a.strong, b.strong);
+  EXPECT_EQ(a.dir, b.dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdaptiveEquivalence,
+                         ::testing::Values(std::pair{0, 0}, std::pair{16, 0},
+                                           std::pair{0, 8},
+                                           std::pair{16, 8}));
+
+// The weak state produced by the remotely executed mixed compensation is
+// merged back into the agent. The rollback ABANDONS the sub-itinerary so
+// the compensated state is final: the `touches` counter (decremented by
+// the shipped comp.untouch) must be exactly restored, and the directory
+// entries removed everywhere.
+TEST(AdaptiveStrategy, RemoteWeakStateMergesBack) {
+  const auto out =
+      run(RollbackStrategy::adaptive, 3, 16 * 1024, 16, "abandon");
+  ASSERT_TRUE(out.done);
+  // All three touch_mixed steps rolled back: no touch-* keys anywhere.
+  for (const auto& [node, dir] : out.dir) {
+    for (const auto& [key, value] : dir.at("entries").as_map()) {
+      EXPECT_TRUE(key.rfind("touch-", 0) != 0)
+          << "leftover " << key << " on node " << node;
+    }
+  }
+  EXPECT_EQ(out.touches, 0);
+}
+
+// Under transient crashes of the resource node, the shipped mixed
+// compensation is retried until it lands; the result must be identical to
+// the fault-free run (exactly-once compensation).
+TEST(AdaptiveStrategy, ShippedCompensationSurvivesCrashes) {
+  PlatformConfig cfg;
+  cfg.strategy = RollbackStrategy::adaptive;
+  TestWorld w(cfg, 4, 17);
+  register_workload(w.platform);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub(
+      {{"grow_strong", 1}, {"touch_mixed", 2}, {"touch_mixed", 3},
+       {"noop", 4}});
+  agent->set_trigger("noop", 4, "abandon", 0);
+  agent->set_config("strong_bytes", 16 * 1024);
+  agent->set_config("param_bytes", 16);
+
+  // Crash the two resource nodes around the time the rollback runs.
+  w.faults.crash_at(TestWorld::n(2), 30'000, 400'000);
+  w.faults.crash_at(TestWorld::n(3), 60'000, 500'000);
+
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  EXPECT_EQ(fin->data().weak("touches").as_int(), 0);
+  for (int n = 2; n <= 3; ++n) {
+    for (const auto& [key, value] :
+         w.committed(n, "dir").at("entries").as_map()) {
+      EXPECT_TRUE(key.rfind("touch-", 0) != 0) << key;
+    }
+  }
+}
+
+// A mixed step executed on the node the agent already sits on needs
+// neither a transfer nor a shipment.
+TEST(AdaptiveStrategy, LocalMixedStepNeedsNoShipment) {
+  PlatformConfig cfg;
+  cfg.strategy = RollbackStrategy::adaptive;
+  TestWorld w(cfg, 2, 5);
+  register_workload(w.platform);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  // The mixed step runs on node 2 and the rollback starts on node 2: the
+  // compensation is local.
+  agent->itinerary() =
+      single_sub({{"touch_mixed", 2}, {"noop", 2}});
+  agent->set_trigger("noop", 2, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  EXPECT_EQ(w.platform.mixed_ships(), 0u);
+  EXPECT_EQ(w.platform.rollback_transfers(), 0u);
+}
+
+}  // namespace
+}  // namespace mar

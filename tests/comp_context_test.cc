@@ -1,0 +1,121 @@
+// Unit tests for the compensation execution context and registry — the
+// access rules of Sec. 4.3 / 4.4.1 enforced by construction.
+#include <gtest/gtest.h>
+
+#include "resource/directory.h"
+#include "resource/resource_manager.h"
+#include "rollback/comp_registry.h"
+#include "storage/stable_storage.h"
+
+namespace mar::rollback {
+namespace {
+
+using serial::Value;
+
+struct Fixture : ::testing::Test {
+  storage::StableStorage stable;
+  resource::ResourceManager rm{stable};
+  Value weak = Value::empty_map();
+  Value params = Value::empty_map();
+
+  void SetUp() override {
+    rm.add_resource("dir", std::make_unique<resource::Directory>());
+    weak.set("cash", std::int64_t{10});
+  }
+
+  CompensationContext make(OpEntryKind kind, bool with_agent = true,
+                           bool with_rm = true) {
+    return CompensationContext(kind, params, /*now=*/123,
+                               with_rm ? &rm : nullptr, TxId(1),
+                               with_agent ? &weak : nullptr);
+  }
+};
+
+TEST_F(Fixture, ResourceEntryMayInvokeResources) {
+  auto ctx = make(OpEntryKind::resource, /*with_agent=*/false);
+  Value p = Value::empty_map();
+  p.set("key", "k");
+  p.set("value", std::int64_t{1});
+  EXPECT_TRUE(ctx.invoke("dir", "publish", p).is_ok());
+}
+
+TEST_F(Fixture, ResourceEntryMustNotTouchAgentState) {
+  // Sec. 4.4.1: "the compensating operation must not access the private
+  // agent state space".
+  auto ctx = make(OpEntryKind::resource);
+  EXPECT_THROW((void)ctx.weak("cash"), LogicError);
+  EXPECT_FALSE(ctx.has_weak("cash"));
+}
+
+TEST_F(Fixture, AgentEntryMustNotInvokeResources) {
+  auto ctx = make(OpEntryKind::agent);
+  auto r = ctx.invoke("dir", "lookup", Value::empty_map());
+  EXPECT_EQ(r.code(), Errc::forbidden);
+  // Weak access is the whole point of agent entries.
+  EXPECT_EQ(ctx.weak("cash").as_int(), 10);
+}
+
+TEST_F(Fixture, MixedEntryMayDoBoth) {
+  auto ctx = make(OpEntryKind::mixed);
+  Value p = Value::empty_map();
+  p.set("key", "k");
+  p.set("value", std::int64_t{2});
+  EXPECT_TRUE(ctx.invoke("dir", "publish", p).is_ok());
+  ctx.weak("cash") = std::int64_t{99};
+  EXPECT_EQ(weak.at("cash").as_int(), 99);
+}
+
+TEST_F(Fixture, UnknownWeakSlotChecks) {
+  auto ctx = make(OpEntryKind::agent);
+  EXPECT_THROW((void)ctx.weak("nope"), LogicError);
+  EXPECT_FALSE(ctx.has_weak("nope"));
+}
+
+TEST_F(Fixture, ContextExposesParamsAndTime) {
+  params.set("x", std::int64_t{5});
+  auto ctx = make(OpEntryKind::agent);
+  EXPECT_EQ(ctx.params().at("x").as_int(), 5);
+  EXPECT_EQ(ctx.now_us(), 123u);
+  EXPECT_EQ(ctx.kind(), OpEntryKind::agent);
+}
+
+TEST_F(Fixture, RegistryRunsRegisteredOps) {
+  CompensationRegistry reg;
+  int calls = 0;
+  reg.register_op("op.a", [&calls](CompensationContext&) {
+    ++calls;
+    return Status::ok();
+  });
+  EXPECT_TRUE(reg.contains("op.a"));
+  EXPECT_FALSE(reg.contains("op.b"));
+  auto ctx = make(OpEntryKind::agent);
+  EXPECT_TRUE(reg.run("op.a", ctx).is_ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(Fixture, RegistryRejectsUnknownOps) {
+  CompensationRegistry reg;
+  auto ctx = make(OpEntryKind::agent);
+  EXPECT_EQ(reg.run("ghost", ctx).code(), Errc::protocol_error);
+}
+
+TEST_F(Fixture, RegistryRejectsDuplicates) {
+  CompensationRegistry reg;
+  reg.register_op("op.a", [](CompensationContext&) { return Status::ok(); });
+  EXPECT_THROW(reg.register_op("op.a", [](CompensationContext&) {
+    return Status::ok();
+  }),
+               LogicError);
+}
+
+TEST_F(Fixture, FailuresPropagateAsStatus) {
+  CompensationRegistry reg;
+  reg.register_op("op.fail", [](CompensationContext&) {
+    return Status(Errc::compensation_failed, "cannot undo");
+  });
+  auto ctx = make(OpEntryKind::agent);
+  EXPECT_EQ(reg.run("op.fail", ctx).code(), Errc::compensation_failed);
+}
+
+}  // namespace
+}  // namespace mar::rollback

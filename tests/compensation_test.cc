@@ -1,0 +1,222 @@
+// Tests of the Sec. 3 formalism: histories, commutation, soundness, and
+// the compensation-type classification — using the paper's own examples.
+#include <gtest/gtest.h>
+
+#include "compensation/history.h"
+#include "util/rng.h"
+
+namespace mar::compensation {
+namespace {
+
+using serial::Value;
+
+// The paper's running example: a bank account in the augmented state.
+State account_state(std::int64_t balance) {
+  State s = Value::empty_map();
+  s.set("balance", balance);
+  return s;
+}
+
+Operation deposit(std::int64_t x) {
+  return Operation{"deposit(" + std::to_string(x) + ")",
+                   [x](const State& s) {
+                     State out = s;
+                     out.set("balance", s.at("balance").as_int() + x);
+                     return out;
+                   }};
+}
+
+Operation withdraw(std::int64_t x) { return deposit(-x); }
+
+/// The paper's "very simple transaction that does not commute": act on the
+/// current balance ("if I have enough money, then ...").
+Operation conditional_spend(std::int64_t threshold) {
+  return Operation{"cond_spend",
+                   [threshold](const State& s) {
+                     State out = s;
+                     if (s.at("balance").as_int() >= threshold) {
+                       out.set("balance", s.at("balance").as_int() - threshold);
+                       out.set("bought", true);
+                     }
+                     return out;
+                   }};
+}
+
+std::vector<State> samples() {
+  std::vector<State> out;
+  // Includes a balance in [15, 35): the only region where withdraw(20)
+  // and conditional_spend(15) actually disagree about the outcome.
+  for (std::int64_t b : {-50, 0, 10, 20, 100, 1000}) {
+    out.push_back(account_state(b));
+  }
+  return out;
+}
+
+TEST(HistoryTest, AppliesInOrder) {
+  History h{deposit(10), withdraw(3)};
+  EXPECT_EQ(h.apply(account_state(0)).at("balance").as_int(), 7);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.to_string(), "<deposit(10), deposit(-3)>");
+}
+
+TEST(HistoryTest, ThenConcatenates) {
+  History a{deposit(1)};
+  History b{deposit(2)};
+  EXPECT_EQ(a.then(b).apply(account_state(0)).at("balance").as_int(), 3);
+}
+
+TEST(HistoryTest, ReversedReversesOrder) {
+  History h{deposit(1), deposit(2), deposit(4)};
+  const auto r = h.reversed();
+  EXPECT_EQ(r.ops()[0].name, "deposit(4)");
+  EXPECT_EQ(r.ops()[2].name, "deposit(1)");
+}
+
+TEST(CommuteTest, DepositAndWithdrawCommuteOnOverdraftableAccount) {
+  // Sec. 3.2: "If the account may be overdrawn, these two operations
+  // commute."
+  const auto s = samples();
+  EXPECT_TRUE(commute(deposit(20), withdraw(5), s));
+  EXPECT_TRUE(commute(deposit(20), deposit(7), s));
+}
+
+TEST(CommuteTest, ConditionalSpendBreaksCommutation) {
+  // The paper's counterexample: a dependent transaction that inspects the
+  // balance does not commute with deposit/withdraw.
+  const auto s = samples();
+  EXPECT_FALSE(commute(deposit(20), conditional_spend(15), s));
+}
+
+TEST(SoundnessTest, CommutingCompensationYieldsSoundHistory) {
+  // T deposits 20; CT withdraws 20; dep(T) deposits 5 in between. All ops
+  // commute, so executing <T, dep, CT> equals executing dep alone.
+  const History executed{deposit(20), deposit(5), withdraw(20)};
+  const History dep_only{deposit(5)};
+  EXPECT_TRUE(sound(executed, dep_only, account_state(100)));
+  EXPECT_TRUE(compensation_commutes_with_dependents(
+      History{withdraw(20)}, History{deposit(5)}, samples()));
+}
+
+TEST(SoundnessTest, NonCommutingDependentBreaksSoundness) {
+  // dep(T) spends conditionally on the balance T created; compensating T
+  // afterwards cannot produce the dep-only outcome.
+  const History executed{deposit(20), conditional_spend(15), withdraw(20)};
+  const History dep_only{conditional_spend(15)};
+  EXPECT_FALSE(sound(executed, dep_only, account_state(0)));
+  EXPECT_FALSE(compensation_commutes_with_dependents(
+      History{withdraw(20)}, History{conditional_spend(15)}, samples()));
+}
+
+TEST(SoundnessTest, SoundnessImpliesTThenCtIsIdentity) {
+  // The paper notes the definition of soundness implies T • CT ≡ I.
+  const History t_ct{deposit(20), withdraw(20)};
+  const History identity{};
+  EXPECT_TRUE(equivalent(t_ct, identity, samples()));
+}
+
+// --------------------------------------------------------------------------
+// Classification (Sec. 3.2 taxonomy)
+// --------------------------------------------------------------------------
+
+TEST(ClassifyTest, PerfectUndoIsIdentity) {
+  const auto s = samples();
+  const auto cls = classify(
+      deposit(20), withdraw(20), s,
+      [](const State& a, const State& b) { return a == b; },
+      [](const State&) { return true; });
+  EXPECT_EQ(cls, CompensationClass::identity);
+}
+
+TEST(ClassifyTest, DigitalCashIsStateEquivalent) {
+  // Buying with digital cash and compensating returns the same amount in
+  // coins with different serial numbers: equivalent, not equal.
+  Operation buy{"buy", [](const State& s) {
+                  State out = s;
+                  out.set("coins", Value::empty_list());
+                  out.set("goods", true);
+                  return out;
+                }};
+  Operation comp{"refund", [](const State& s) {
+                   State out = s;
+                   Value coins = Value::empty_list();
+                   coins.push_back(Value("serial-NEW"));
+                   out.set("coins", std::move(coins));
+                   out.erase("goods");
+                   return out;
+                 }};
+  std::vector<State> states;
+  State st = Value::empty_map();
+  Value coins = Value::empty_list();
+  coins.push_back(Value("serial-OLD"));
+  st.set("coins", std::move(coins));
+  states.push_back(st);
+
+  const auto cls = classify(
+      buy, comp, states,
+      [](const State& a, const State& b) {
+        // Application-level equivalence: same number of coins, goods gone.
+        return a.at("coins").size() == b.at("coins").size() &&
+               a.has("goods") == b.has("goods");
+      },
+      [](const State&) { return true; });
+  EXPECT_EQ(cls, CompensationClass::state_equivalent);
+}
+
+TEST(ClassifyTest, OverdraftRestrictedWithdrawMayFail) {
+  // Sec. 3.2: CT must withdraw 20; if another transaction drained the
+  // account, fewer than 20 remain and the compensation fails.
+  const auto cls = classify(
+      deposit(20), withdraw(20),
+      std::vector<State>{account_state(0), account_state(-30)},
+      [](const State& a, const State& b) { return a == b; },
+      [](const State& s) { return s.at("balance").as_int() >= 20; });
+  EXPECT_EQ(cls, CompensationClass::may_fail);
+}
+
+TEST(ClassifyTest, LossyOperationIsNotCompensatable) {
+  // Deleting data without logging it cannot be undone (Sec. 3.2's final
+  // category).
+  Operation wipe{"wipe", [](const State& s) {
+                   State out = s;
+                   out.set("balance", std::int64_t{0});
+                   return out;
+                 }};
+  Operation noop{"noop", [](const State& s) { return s; }};
+  const auto cls = classify(
+      wipe, noop, samples(),
+      [](const State& a, const State& b) { return a == b; },
+      [](const State&) { return true; });
+  EXPECT_EQ(cls, CompensationClass::not_compensatable);
+}
+
+// --------------------------------------------------------------------------
+// Property sweep: compensating a random history in reverse order of
+// inverse operations is the identity on the augmented state.
+// --------------------------------------------------------------------------
+
+class ReverseCompensationProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReverseCompensationProperty, ReverseInversesRestoreState) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    History forward;
+    History inverses;  // built in forward order, compensated reversed
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i) {
+      const auto amount = rng.next_in(1, 50);
+      forward.append(deposit(amount));
+      inverses.append(withdraw(amount));
+    }
+    const State initial = account_state(rng.next_in(0, 500));
+    const State after = forward.apply(initial);
+    const State restored = inverses.reversed().apply(after);
+    EXPECT_EQ(restored, initial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReverseCompensationProperty,
+                         ::testing::Values(3, 14, 159, 265));
+
+}  // namespace
+}  // namespace mar::compensation

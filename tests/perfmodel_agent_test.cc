@@ -1,0 +1,167 @@
+// Unit tests for the performance model (ref [16]) and full-agent
+// serialization round trips.
+#include <gtest/gtest.h>
+
+#include "agent/agent.h"
+#include "harness/agents.h"
+#include "perfmodel/perfmodel.h"
+#include "serial/serializable.h"
+
+namespace mar {
+namespace {
+
+// --------------------------------------------------------------------------
+// perfmodel
+// --------------------------------------------------------------------------
+
+TEST(PerfModelTest, RpcScalesLinearlyWithInteractions) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams task;
+  task.interactions = 1;
+  const double one = perfmodel::rpc_time_us(np, task);
+  task.interactions = 10;
+  EXPECT_DOUBLE_EQ(perfmodel::rpc_time_us(np, task), 10 * one);
+}
+
+TEST(PerfModelTest, MigrationAmortizesInteractions) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams task;
+  task.interactions = 1;
+  const double one = perfmodel::migration_time_us(np, task);
+  task.interactions = 10;
+  // Only server time grows; transfers are paid once.
+  EXPECT_NEAR(perfmodel::migration_time_us(np, task),
+              one + 9 * task.server_time_us, 1e-9);
+}
+
+TEST(PerfModelTest, DecisionFlipsWithInteractionCount) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams task;
+  task.agent_bytes = 65536;
+  task.interactions = 1;
+  EXPECT_EQ(perfmodel::choose(np, task), perfmodel::Strategy::rpc);
+  task.interactions = 200;
+  EXPECT_EQ(perfmodel::choose(np, task), perfmodel::Strategy::migrate);
+}
+
+TEST(PerfModelTest, CrossoverSeparatesRegimes) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams task;
+  task.agent_bytes = 32768;
+  const double crossover = perfmodel::crossover_interactions(np, task);
+  ASSERT_GT(crossover, 0);
+  task.interactions = static_cast<std::int64_t>(crossover) + 2;
+  EXPECT_EQ(perfmodel::choose(np, task), perfmodel::Strategy::migrate);
+  task.interactions =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(crossover) - 2);
+  EXPECT_EQ(perfmodel::choose(np, task), perfmodel::Strategy::rpc);
+}
+
+TEST(PerfModelTest, CrossoverGrowsWithAgentSize) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams small;
+  small.agent_bytes = 1024;
+  perfmodel::TaskParams big;
+  big.agent_bytes = 1024 * 1024;
+  EXPECT_LT(perfmodel::crossover_interactions(np, small),
+            perfmodel::crossover_interactions(np, big));
+}
+
+TEST(PerfModelTest, SelectivityReducesReturnCost) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams task;
+  task.result_bytes = 1e6;
+  task.selectivity = 1.0;
+  const double all = perfmodel::migration_time_us(np, task);
+  task.selectivity = 0.01;
+  EXPECT_LT(perfmodel::migration_time_us(np, task), all);
+}
+
+TEST(PerfModelTest, RpcNeverLosesWhenInteractionsAreFree) {
+  // Server time cancels out of the crossover (both strategies pay it per
+  // interaction); only when the per-interaction NETWORK cost is zero can
+  // RPC never lose.
+  perfmodel::NetworkParams np;
+  np.latency_us = 0;
+  perfmodel::TaskParams task;
+  task.request_bytes = 0;
+  task.reply_bytes = 0;
+  EXPECT_LT(perfmodel::crossover_interactions(np, task), 0.0);
+}
+
+TEST(PerfModelTest, CrossoverIndependentOfServerTime) {
+  perfmodel::NetworkParams np;
+  perfmodel::TaskParams a;
+  a.server_time_us = 1;
+  perfmodel::TaskParams b;
+  b.server_time_us = 100'000;
+  // (a + s + b) - s is subject to rounding for large s: compare loosely.
+  EXPECT_NEAR(perfmodel::crossover_interactions(np, a),
+              perfmodel::crossover_interactions(np, b), 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// Agent capture / re-instantiation
+// --------------------------------------------------------------------------
+
+TEST(AgentSerializationTest, FullStateRoundTrips) {
+  harness::WorkloadAgent agent;
+  agent.set_id(AgentId(77));
+  agent.set_run_state(agent::Agent::RunState::running);
+  agent::Itinerary sub;
+  sub.step("withdraw", NodeId(1)).step("noop", {NodeId(2), NodeId(3)});
+  agent::Itinerary main;
+  main.sub(std::move(sub));
+  agent.itinerary() = std::move(main);
+  agent.set_position({0, 1});
+  agent.data().weak("cash") = std::int64_t{500};
+  agent.data().strong("results").push_back("finding");
+  agent.savepoint_stack().push_back(agent::SavepointStackEntry{
+      SavepointId(1), rollback::SavepointOrigin::sub_itinerary, 1});
+  (void)agent.allocate_savepoint_id();
+  agent.log().push(rollback::BeginOfStepEntry{NodeId(1), "withdraw"});
+  agent.set_force_full_savepoint(true);
+  agent.set_last_savepoint_strong(agent.data().strong_image());
+
+  agent::AgentTypeRegistry registry;
+  registry.register_type<harness::WorkloadAgent>("workload");
+  const auto bytes = agent::encode_agent(agent);
+  auto back = agent::decode_agent(registry, bytes);
+
+  EXPECT_EQ(back->id(), AgentId(77));
+  EXPECT_EQ(back->run_state(), agent::Agent::RunState::running);
+  EXPECT_EQ(back->position(), (rollback::Position{0, 1}));
+  EXPECT_EQ(back->data().weak("cash").as_int(), 500);
+  EXPECT_EQ(back->data().strong("results").as_list()[0].as_string(),
+            "finding");
+  ASSERT_EQ(back->savepoint_stack().size(), 1u);
+  EXPECT_EQ(back->savepoint_stack()[0].id, SavepointId(1));
+  EXPECT_EQ(back->log().size(), 1u);
+  EXPECT_TRUE(back->force_full_savepoint());
+  // Savepoint-id allocation continues where it left off.
+  EXPECT_EQ(back->allocate_savepoint_id(), SavepointId(2));
+  EXPECT_EQ(back->itinerary().step_at({0, 1}).locations.size(), 2u);
+}
+
+TEST(AgentSerializationTest, EncodedSizeTracksPayload) {
+  harness::WorkloadAgent small;
+  harness::WorkloadAgent big;
+  big.data().strong("results").push_back(
+      serial::Value(serial::Bytes(10'000, std::uint8_t{1})));
+  EXPECT_GT(agent::encode_agent(big).size(),
+            agent::encode_agent(small).size() + 10'000);
+}
+
+TEST(AgentSerializationTest, SubSavepointLookup) {
+  harness::WorkloadAgent agent;
+  auto& stack = agent.savepoint_stack();
+  stack.push_back({SavepointId(1), rollback::SavepointOrigin::sub_itinerary, 1});
+  stack.push_back({SavepointId(2), rollback::SavepointOrigin::adhoc, 1});
+  stack.push_back({SavepointId(3), rollback::SavepointOrigin::sub_itinerary, 2});
+  EXPECT_EQ(agent.sub_savepoint(0), SavepointId(3));
+  EXPECT_EQ(agent.sub_savepoint(1), SavepointId(1));
+  EXPECT_FALSE(agent.sub_savepoint(2).valid());
+}
+
+}  // namespace
+}  // namespace mar

@@ -1,0 +1,252 @@
+// End-to-end tests of the agent platform: exactly-once step execution,
+// migration, itinerary handling, savepoints, and both rollback algorithms.
+#include <gtest/gtest.h>
+
+#include "harness/agents.h"
+#include "harness/world.h"
+
+namespace mar {
+namespace {
+
+using agent::Itinerary;
+using agent::PlatformConfig;
+using agent::RollbackStrategy;
+using harness::TestWorld;
+using harness::WorkloadAgent;
+using harness::register_workload;
+
+/// An itinerary with one top-level sub-itinerary holding `steps`.
+Itinerary single_sub(std::vector<std::pair<std::string, int>> steps) {
+  Itinerary sub;
+  for (auto& [method, node] : steps) {
+    sub.step(method, TestWorld::n(node));
+  }
+  Itinerary main;
+  main.sub(std::move(sub));
+  return main;
+}
+
+TEST(PlatformTest, AgentRunsAcrossNodesAndCompletes) {
+  TestWorld w;
+  register_workload(w.platform);
+  w.publish(1, "info", serial::Value("alpha"));
+  w.publish(2, "info", serial::Value("beta"));
+  w.publish(3, "info", serial::Value("gamma"));
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() =
+      single_sub({{"collect", 1}, {"collect", 2}, {"collect", 3}});
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+
+  const auto& out = w.platform.outcome(id.value());
+  ASSERT_EQ(out.state, agent::AgentOutcome::State::done);
+  auto final_agent = w.platform.decode(out.final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(final_agent.get());
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->visits(), 3);
+  ASSERT_EQ(wl->results().as_list().size(), 3u);
+  EXPECT_EQ(wl->results().as_list()[0].as_string(), "alpha");
+  EXPECT_EQ(wl->results().as_list()[1].as_string(), "beta");
+  EXPECT_EQ(wl->results().as_list()[2].as_string(), "gamma");
+  EXPECT_EQ(out.final_node, TestWorld::n(3));
+  // Two migrations: N1 -> N2 -> N3.
+  EXPECT_EQ(w.trace.count(TraceKind::migrate), 2u);
+}
+
+TEST(PlatformTest, ResourceEffectsCommitExactlyOnce) {
+  TestWorld w;
+  register_workload(w.platform);
+  w.open_account(1, "acct", 500);
+  w.open_account(2, "acct", 500);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub({{"withdraw", 1}, {"withdraw", 2}});
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(1, "bank"), "acct"), 400);
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(2, "bank"), "acct"), 400);
+  auto final_agent = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  EXPECT_EQ(dynamic_cast<WorkloadAgent*>(final_agent.get())->cash(), 200);
+}
+
+// The paper's core scenario (Fig. 3): steps committed on several nodes,
+// rollback initiated later, compensations run in reverse order on the
+// nodes that executed the steps, strong objects restored at the savepoint.
+TEST(PlatformTest, PartialRollbackRestoresAugmentedState) {
+  for (auto strategy : {RollbackStrategy::basic, RollbackStrategy::optimized}) {
+    PlatformConfig cfg;
+    cfg.strategy = strategy;
+    TestWorld w(cfg);
+    register_workload(w.platform);
+    w.open_account(1, "acct", 1000);
+    w.open_account(2, "acct", 1000);
+    w.publish(1, "info", serial::Value("x"));
+
+    auto agent = std::make_unique<WorkloadAgent>();
+    // Sub-itinerary: collect(N1) withdraw(N1) withdraw(N2) noop(N3):
+    // trigger a rollback of the whole sub-itinerary in the last step.
+    agent->itinerary() = single_sub(
+        {{"collect", 1}, {"withdraw", 1}, {"withdraw", 2}, {"noop", 3}});
+    agent->set_trigger("noop", 4, "sub", 0);
+    auto id = w.platform.launch(std::move(agent));
+    ASSERT_TRUE(id.is_ok());
+    ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+    ASSERT_EQ(w.platform.outcome(id.value()).state,
+              agent::AgentOutcome::State::done)
+        << "strategy=" << static_cast<int>(strategy) << " status: "
+        << w.platform.outcome(id.value()).status;
+
+    // Resource state: both withdraws compensated, then re-executed after
+    // the rollback resumed from the savepoint (the agent re-runs the sub).
+    EXPECT_EQ(resource::Bank::balance_in(w.committed(1, "bank"), "acct"), 900);
+    EXPECT_EQ(resource::Bank::balance_in(w.committed(2, "bank"), "acct"), 900);
+
+    auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+    auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+    // Strong results list was restored at the savepoint, then refilled
+    // exactly once by the re-executed collect step.
+    EXPECT_EQ(wl->results().as_list().size(), 1u) << "strategy "
+        << static_cast<int>(strategy);
+    // Weak cash: first pass +200, compensation -200, re-run +200.
+    EXPECT_EQ(wl->cash(), 200);
+    // visits: 3 committed on the first pass (the triggering noop aborted),
+    // plus 4 on the re-run after the rollback.
+    EXPECT_EQ(wl->visits(), 7);
+    EXPECT_GE(w.trace.count(TraceKind::comp_commit), 1u);
+    EXPECT_EQ(w.trace.count(TraceKind::restore), 1u);
+    EXPECT_EQ(w.trace.count(TraceKind::rollback_done), 1u);
+  }
+}
+
+TEST(PlatformTest, OptimizedRollbackAvoidsAgentTransfers) {
+  // Steps with only RCE/ACE entries: the optimized algorithm must not move
+  // the agent at all during rollback; the basic one must visit each node.
+  std::uint64_t transfers[2] = {0, 0};
+  int i = 0;
+  for (auto strategy : {RollbackStrategy::basic, RollbackStrategy::optimized}) {
+    PlatformConfig cfg;
+    cfg.strategy = strategy;
+    TestWorld w(cfg);
+    register_workload(w.platform);
+    for (int node = 1; node <= 4; ++node) w.open_account(node, "acct", 1000);
+
+    auto agent = std::make_unique<WorkloadAgent>();
+    agent->itinerary() = single_sub({{"withdraw", 1},
+                                     {"withdraw", 2},
+                                     {"withdraw", 3},
+                                     {"noop", 4}});
+    agent->set_trigger("noop", 4, "sub", 0);
+    // Let the re-run not trigger again (visits continue counting).
+    auto id = w.platform.launch(std::move(agent));
+    ASSERT_TRUE(id.is_ok());
+    ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+    ASSERT_EQ(w.platform.outcome(id.value()).state,
+              agent::AgentOutcome::State::done);
+    transfers[i++] = w.platform.rollback_transfers();
+  }
+  EXPECT_GE(transfers[0], 3u);  // basic: back along N3, N2, N1
+  EXPECT_EQ(transfers[1], 0u);  // optimized: RCEs shipped, agent stays
+}
+
+TEST(PlatformTest, MixedCompensationForcesAgentTransfer) {
+  PlatformConfig cfg;
+  cfg.strategy = RollbackStrategy::optimized;
+  TestWorld w(cfg);
+  register_workload(w.platform);
+  w.set_rate(2, "USD", "EUR", 900'000);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  // fund at N1 (MCE: mint), exchange at N2 (MCE: currency), rollback at N3.
+  agent->itinerary() =
+      single_sub({{"fund", 1}, {"exchange", 2}, {"noop", 3}});
+  agent->set_trigger("noop", 3, "sub", 0);
+  agent->data().weak("cash") = std::int64_t{200};
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done)
+      << w.platform.outcome(id.value()).status;
+
+  // Mixed entries force the agent back to N2 and N1 during rollback.
+  EXPECT_GE(w.platform.rollback_transfers(), 2u);
+
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+  // Compensation of the exchange converted 180 EUR back at the inverse
+  // rate: 180 EUR -> 199 USD (integer rounding — state-EQUIVALENT, not
+  // identical, exactly Sec. 3.2's point); the re-run: 199 -> 179 EUR.
+  EXPECT_EQ(wl->data().weak("cash_eur").as_int(), 179);
+  EXPECT_EQ(wl->cash(), 0);
+  // fund was compensated (wallet emptied) and re-run: 5 coins again, with
+  // fresh serial numbers (the paper's digital-cash equivalence).
+  ASSERT_EQ(wl->wallet().as_list().size(), 5u);
+  EXPECT_GT(wl->wallet().as_list()[0].at("serial").as_int(), 5);
+}
+
+TEST(PlatformTest, AdhocSavepointRollback) {
+  TestWorld w;
+  register_workload(w.platform);
+  w.open_account(2, "acct", 300);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  // savepoint at N1, withdraw at N2, trigger explicit rollback at N3 to
+  // the ad-hoc savepoint; on resume, re-run withdraw and finish.
+  agent->itinerary() = single_sub(
+      {{"savepoint", 1}, {"withdraw", 2}, {"noop", 3}});
+  agent->set_trigger("noop", 3, "last_sp", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done)
+      << w.platform.outcome(id.value()).status;
+  // withdraw ran twice, compensated once: net one withdraw.
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(2, "bank"), "acct"), 200);
+}
+
+TEST(PlatformTest, NonCompensatableStepBlocksRollback) {
+  TestWorld w;
+  register_workload(w.platform);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub({{"poison", 1}, {"noop", 2}});
+  agent->set_trigger("noop", 2, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  const auto& out = w.platform.outcome(id.value());
+  EXPECT_EQ(out.state, agent::AgentOutcome::State::failed);
+  EXPECT_EQ(out.status.code(), Errc::not_compensatable);
+}
+
+TEST(PlatformTest, LogDiscardedAfterTopLevelSubItinerary) {
+  TestWorld w;
+  register_workload(w.platform);
+  w.open_account(1, "acct", 1000);
+  w.open_account(2, "acct", 1000);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary main;
+  main.sub(Itinerary{}.step("withdraw", TestWorld::n(1)))
+      .sub(Itinerary{}.step("withdraw", TestWorld::n(2)));
+  agent->itinerary() = std::move(main);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  // One discard per completed top-level sub-itinerary.
+  EXPECT_EQ(w.trace.count(TraceKind::log_discard), 2u);
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  EXPECT_TRUE(fin->log().empty());
+}
+
+}  // namespace
+}  // namespace mar

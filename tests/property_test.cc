@@ -1,0 +1,310 @@
+// Randomized property tests over whole-platform executions.
+//
+// Each case generates a random itinerary/workload from a seed, runs it to
+// completion (with or without a rollback), and checks invariants that must
+// hold for EVERY execution:
+//   * exactly-once: the sum of committed resource effects matches the
+//     number of committed steps, regardless of crashes and restarts;
+//   * the augmented state after (rollback + re-execution) matches the
+//     state of a reference execution that never took the detour;
+//   * the rollback log is always well-formed (BOS/OE/EOS segments,
+//     savepoints only at boundaries);
+//   * both rollback strategies and both logging modes agree.
+#include <gtest/gtest.h>
+
+#include "harness/agents.h"
+#include "harness/world.h"
+
+namespace mar {
+namespace {
+
+using agent::Itinerary;
+using agent::PlatformConfig;
+using agent::RollbackStrategy;
+using harness::TestWorld;
+using harness::WorkloadAgent;
+using harness::register_workload;
+
+struct RandomPlan {
+  std::vector<std::pair<std::string, int>> steps;  // method, node
+  int nodes = 0;
+  bool has_rollback = false;
+  bool abandon = false;  // rollback mode: retry the sub, or skip it
+  std::int64_t trigger_at = 0;
+};
+
+RandomPlan make_plan(Rng& rng, int max_steps, int node_count) {
+  RandomPlan plan;
+  plan.nodes = node_count;
+  const int n = 2 + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(max_steps - 1)));
+  static const char* kSteps[] = {"touch_split", "touch_mixed", "collect",
+                                 "spend_cash", "noop", "grow_strong",
+                                 "grow_weak"};
+  for (int i = 0; i < n; ++i) {
+    plan.steps.emplace_back(
+        kSteps[rng.next_below(std::size(kSteps))],
+        1 + static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(node_count))));
+  }
+  // Terminal trigger step (sometimes).
+  plan.has_rollback = rng.next_bool(0.7);
+  if (plan.has_rollback) {
+    plan.abandon = rng.next_bool(0.3);
+    plan.steps.emplace_back(
+        "noop", 1 + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(node_count))));
+    plan.trigger_at = static_cast<std::int64_t>(plan.steps.size());
+  }
+  return plan;
+}
+
+struct RunResult {
+  bool done = false;
+  serial::Value strong;
+  std::int64_t touches = 0;
+  std::int64_t cash = 0;
+  std::map<int, serial::Value> dir_state;
+  std::size_t log_entries = 0;
+};
+
+RunResult run_plan(const RandomPlan& plan, PlatformConfig cfg,
+                   std::uint64_t seed, bool with_faults) {
+  TestWorld w(cfg, plan.nodes, seed);
+  register_workload(w.platform);
+  for (int n = 1; n <= plan.nodes; ++n) {
+    w.publish(n, "info", serial::Value("i" + std::to_string(n)));
+  }
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary sub;
+  for (const auto& [method, node] : plan.steps) {
+    sub.step(method, TestWorld::n(node));
+  }
+  Itinerary main;
+  main.sub(std::move(sub));
+  agent->itinerary() = std::move(main);
+  if (plan.has_rollback) {
+    agent->set_trigger("noop", plan.trigger_at,
+                       plan.abandon ? "abandon" : "sub", 0);
+  }
+  agent->set_config("param_bytes", 24);
+  agent->set_config("strong_bytes", 48);
+  agent->set_config("weak_bytes", 40);
+
+  if (with_faults) {
+    Rng frng(seed ^ 0xfa017);
+    net::FaultInjector::CrashPlan fault_plan;
+    fault_plan.mean_time_between_crashes_us = 1.5e6;
+    fault_plan.mean_downtime_us = 120'000;
+    fault_plan.horizon_us = 30'000'000;
+    w.faults.random_crashes(w.net.node_ids(), frng, fault_plan);
+  }
+
+  auto id = w.platform.launch(std::move(agent));
+  EXPECT_TRUE(id.is_ok());
+  EXPECT_TRUE(w.platform.run_until_finished(id.value()));
+
+  RunResult result;
+  const auto& out = w.platform.outcome(id.value());
+  result.done = out.state == agent::AgentOutcome::State::done;
+  if (!result.done) return result;
+  auto fin = w.platform.decode(out.final_agent);
+  result.strong = fin->data().strong_image();
+  result.touches = fin->data().weak("touches").as_int();
+  result.cash = fin->data().weak("cash").as_int();
+  result.log_entries = fin->log().size();
+  for (int n = 1; n <= plan.nodes; ++n) {
+    result.dir_state[n] = w.committed(n, "dir");
+  }
+  return result;
+}
+
+class RandomWorkloads : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWorkloads, StrategiesProduceIdenticalAugmentedState) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const auto plan = make_plan(rng, 8, 4);
+    PlatformConfig basic;
+    basic.strategy = RollbackStrategy::basic;
+    PlatformConfig opt;
+    opt.strategy = RollbackStrategy::optimized;
+    PlatformConfig ada;
+    ada.strategy = RollbackStrategy::adaptive;
+    const auto a = run_plan(plan, basic, GetParam(), false);
+    const auto b = run_plan(plan, opt, GetParam(), false);
+    const auto c = run_plan(plan, ada, GetParam(), false);
+    ASSERT_TRUE(a.done && b.done && c.done) << "seed " << GetParam();
+    EXPECT_EQ(a.strong, b.strong) << "seed " << GetParam() << " round "
+                                  << round;
+    EXPECT_EQ(a.touches, b.touches);
+    EXPECT_EQ(a.cash, b.cash);
+    EXPECT_EQ(a.dir_state, b.dir_state);
+    EXPECT_EQ(a.strong, c.strong) << "adaptive, seed " << GetParam();
+    EXPECT_EQ(a.touches, c.touches);
+    EXPECT_EQ(a.cash, c.cash);
+    EXPECT_EQ(a.dir_state, c.dir_state);
+  }
+}
+
+TEST_P(RandomWorkloads, LoggingModesProduceIdenticalAugmentedState) {
+  Rng rng(GetParam() * 31 + 5);
+  for (int round = 0; round < 6; ++round) {
+    const auto plan = make_plan(rng, 8, 4);
+    PlatformConfig state_cfg;
+    state_cfg.logging = agent::LoggingMode::state;
+    PlatformConfig trans_cfg;
+    trans_cfg.logging = agent::LoggingMode::transition;
+    const auto a = run_plan(plan, state_cfg, GetParam(), false);
+    const auto b = run_plan(plan, trans_cfg, GetParam(), false);
+    ASSERT_TRUE(a.done && b.done);
+    EXPECT_EQ(a.strong, b.strong);
+    EXPECT_EQ(a.touches, b.touches);
+    EXPECT_EQ(a.dir_state, b.dir_state);
+  }
+}
+
+TEST_P(RandomWorkloads, FaultsNeverChangeTheOutcome) {
+  Rng rng(GetParam() * 101 + 7);
+  for (int round = 0; round < 3; ++round) {
+    const auto plan = make_plan(rng, 6, 4);
+    PlatformConfig cfg;
+    const auto clean = run_plan(plan, cfg, GetParam(), false);
+    const auto faulty = run_plan(plan, cfg, GetParam(), true);
+    ASSERT_TRUE(clean.done) << "seed " << GetParam();
+    ASSERT_TRUE(faulty.done) << "seed " << GetParam();
+    // Crashes may delay but must not alter any committed state.
+    EXPECT_EQ(clean.strong, faulty.strong) << "seed " << GetParam();
+    EXPECT_EQ(clean.touches, faulty.touches);
+    EXPECT_EQ(clean.cash, faulty.cash);
+    EXPECT_EQ(clean.dir_state, faulty.dir_state);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloads,
+                         ::testing::Values(1, 7, 21, 55, 89, 144, 233));
+
+// ---------------------------------------------------------------------------
+// Log well-formedness after arbitrary forward executions
+// ---------------------------------------------------------------------------
+
+void check_log_well_formed(const rollback::RollbackLog& log) {
+  // Grammar: (SP* (BOS OE* EOS))* SP* — savepoints only between steps.
+  bool in_step = false;
+  for (const auto& e : log.entries()) {
+    switch (e.kind()) {
+      case rollback::EntryKind::begin_of_step:
+        ASSERT_FALSE(in_step) << "nested BOS";
+        in_step = true;
+        break;
+      case rollback::EntryKind::end_of_step:
+        ASSERT_TRUE(in_step) << "EOS without BOS";
+        in_step = false;
+        break;
+      case rollback::EntryKind::operation:
+        ASSERT_TRUE(in_step) << "OE outside a step segment";
+        break;
+      case rollback::EntryKind::savepoint:
+        ASSERT_FALSE(in_step) << "SP inside a step segment";
+        break;
+    }
+  }
+  ASSERT_FALSE(in_step) << "unterminated step segment";
+}
+
+class LogGrammar : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogGrammar, LogStaysWellFormed) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    const auto plan = make_plan(rng, 10, 4);
+    PlatformConfig cfg;
+    cfg.discard_log_on_top_level = false;  // keep the whole log
+    TestWorld w(cfg, plan.nodes, GetParam());
+    register_workload(w.platform);
+    for (int n = 1; n <= plan.nodes; ++n) {
+      w.publish(n, "info", serial::Value("x"));
+    }
+    auto agent = std::make_unique<WorkloadAgent>();
+    Itinerary sub;
+    for (const auto& [method, node] : plan.steps) {
+      sub.step(method, TestWorld::n(node));
+    }
+    Itinerary main;
+    main.sub(std::move(sub));
+    agent->itinerary() = std::move(main);
+    if (plan.has_rollback) {
+      agent->set_trigger("noop", plan.trigger_at, "sub", 0);
+    }
+    auto id = w.platform.launch(std::move(agent));
+    ASSERT_TRUE(id.is_ok());
+    ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+    ASSERT_EQ(w.platform.outcome(id.value()).state,
+              agent::AgentOutcome::State::done);
+    auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+    check_log_well_formed(fin->log());
+    // The log also round-trips bit-exactly.
+    auto bytes = serial::to_bytes(fin->log());
+    auto back = serial::from_bytes<rollback::RollbackLog>(bytes);
+    EXPECT_EQ(back.to_string(), fin->log().to_string());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogGrammar,
+                         ::testing::Values(3, 33, 333, 3333));
+
+// ---------------------------------------------------------------------------
+// Exactly-once under randomized crash storms (counting variant)
+// ---------------------------------------------------------------------------
+
+class ExactlyOnce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactlyOnce, EveryCommittedStepEffectAppearsExactlyOnce) {
+  // The touch workload publishes key "touch-<visit>" per step; after a
+  // clean (rollback-free) run under a crash storm, every step's key must
+  // exist exactly once across the fleet.
+  PlatformConfig cfg;
+  TestWorld w(cfg, 4, GetParam());
+  register_workload(w.platform);
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary sub;
+  constexpr int kSteps = 6;
+  for (int i = 0; i < kSteps; ++i) {
+    sub.step("touch_plain", TestWorld::n(1 + i % 4));
+  }
+  Itinerary main;
+  main.sub(std::move(sub));
+  agent->itinerary() = std::move(main);
+
+  Rng frng(GetParam() ^ 0xc4a54);
+  net::FaultInjector::CrashPlan plan;
+  plan.mean_time_between_crashes_us = 400'000;
+  plan.mean_downtime_us = 80'000;
+  plan.horizon_us = 30'000'000;
+  w.faults.random_crashes(w.net.node_ids(), frng, plan);
+
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+  ASSERT_EQ(wl->visits(), kSteps);  // no step executed twice *and committed*
+  int found = 0;
+  for (int n = 1; n <= 4; ++n) {
+    const auto& entries = w.committed(n, "dir").at("entries").as_map();
+    for (const auto& [key, value] : entries) {
+      if (key.rfind("touch-", 0) == 0) ++found;
+    }
+  }
+  EXPECT_EQ(found, kSteps) << "seed " << GetParam();
+  EXPECT_EQ(wl->data().weak("touches").as_int(), kSteps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactlyOnce,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace mar

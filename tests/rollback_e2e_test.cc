@@ -1,0 +1,427 @@
+// Deep end-to-end rollback scenarios: strategy equivalence, logging-mode
+// equivalence, nested itineraries (Fig. 6), failing compensations,
+// sequential rollbacks and multi-agent isolation.
+#include <gtest/gtest.h>
+
+#include "harness/agents.h"
+#include "harness/world.h"
+
+namespace mar {
+namespace {
+
+using agent::Itinerary;
+using agent::LoggingMode;
+using agent::PlatformConfig;
+using agent::RollbackStrategy;
+using harness::TestWorld;
+using harness::WorkloadAgent;
+using harness::register_workload;
+
+Itinerary single_sub(std::vector<std::pair<std::string, int>> steps) {
+  Itinerary sub;
+  for (auto& [method, node] : steps) sub.step(method, TestWorld::n(node));
+  Itinerary main;
+  main.sub(std::move(sub));
+  return main;
+}
+
+/// Run the standard mixed workload and capture the full augmented state:
+/// every node's committed resource states plus the agent's data space.
+struct WorldState {
+  std::map<int, serial::Value> bank;
+  std::map<int, serial::Value> dir;
+  serial::Value strong;
+  serial::Value weak_cash;
+  serial::Value weak_touches;
+  bool done = false;
+
+  friend bool operator==(const WorldState&, const WorldState&) = default;
+};
+
+WorldState run_workload(PlatformConfig cfg, double mixed_fraction,
+                        std::uint64_t seed) {
+  constexpr int kSteps = 6;
+  TestWorld w(cfg, kSteps + 1, seed);
+  register_workload(w.platform);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary sub;
+  double acc = 0;
+  for (int i = 0; i < kSteps; ++i) {
+    acc += mixed_fraction;
+    const bool mixed = acc >= 1.0 - 1e-9;
+    if (mixed) acc -= 1.0;
+    sub.step(mixed ? "touch_mixed" : "touch_split", TestWorld::n(i + 1));
+  }
+  sub.step("noop", TestWorld::n(kSteps + 1));
+  Itinerary main;
+  main.sub(std::move(sub));
+  agent->itinerary() = std::move(main);
+  agent->set_trigger("noop", kSteps + 1, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  EXPECT_TRUE(id.is_ok());
+  EXPECT_TRUE(w.platform.run_until_finished(id.value()));
+
+  WorldState state;
+  state.done = w.platform.outcome(id.value()).state ==
+               agent::AgentOutcome::State::done;
+  for (int n = 1; n <= kSteps + 1; ++n) {
+    state.bank[n] = w.committed(n, "bank");
+    state.dir[n] = w.committed(n, "dir");
+  }
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  state.strong = fin->data().strong_image();
+  state.weak_cash = fin->data().weak("cash");
+  state.weak_touches = fin->data().weak("touches");
+  return state;
+}
+
+// The optimized algorithm is a pure performance optimization: for any
+// workload mix it must produce exactly the augmented state the basic
+// algorithm produces.
+class StrategyEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(StrategyEquivalence, OptimizedMatchesBasic) {
+  const auto [mixed, seed] = GetParam();
+  PlatformConfig basic_cfg;
+  basic_cfg.strategy = RollbackStrategy::basic;
+  PlatformConfig opt_cfg;
+  opt_cfg.strategy = RollbackStrategy::optimized;
+  const auto a = run_workload(basic_cfg, mixed, seed);
+  const auto b = run_workload(opt_cfg, mixed, seed);
+  EXPECT_TRUE(a.done);
+  EXPECT_TRUE(b.done);
+  EXPECT_EQ(a, b) << "mixed=" << mixed << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, StrategyEquivalence,
+    ::testing::Combine(::testing::Values(0.0, 0.34, 0.5, 1.0),
+                       ::testing::Values(1u, 42u, 1234u)));
+
+// Transition logging must restore exactly what state logging restores.
+class LoggingEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoggingEquivalence, TransitionMatchesState) {
+  PlatformConfig state_cfg;
+  state_cfg.logging = LoggingMode::state;
+  PlatformConfig trans_cfg;
+  trans_cfg.logging = LoggingMode::transition;
+  const auto a = run_workload(state_cfg, GetParam(), 7);
+  const auto b = run_workload(trans_cfg, GetParam(), 7);
+  EXPECT_TRUE(a.done);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, LoggingEquivalence,
+                         ::testing::Values(0.0, 0.5, 1.0));
+
+// ---------------------------------------------------------------------------
+// Nested itineraries (the paper's Fig. 6 scenarios)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<WorkloadAgent> fig6_agent() {
+  // SI3 = ( s6, SI4(s5, s4), SI5(s9, s10) ) — numbers map to nodes.
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary si4;
+  si4.step("touch_split", TestWorld::n(1)).step("noop", TestWorld::n(2));
+  Itinerary si5;
+  si5.step("touch_split", TestWorld::n(3)).step("noop", TestWorld::n(4));
+  Itinerary si3;
+  si3.step("touch_split", TestWorld::n(4)).sub(std::move(si4)).sub(
+      std::move(si5));
+  Itinerary main;
+  main.sub(std::move(si3));
+  agent->itinerary() = std::move(main);
+  return agent;
+}
+
+TEST(NestedItineraryTest, RollbackOfNestedSubOnly) {
+  // Sec. 4.4.2: "it can either roll back only sub-itinerary SI4 (by
+  // aborting step transaction s4 and compensating s5)..."
+  TestWorld w;
+  register_workload(w.platform);
+  auto agent = fig6_agent();
+  // Trigger in s4 (the noop at N2, visit 3); rollback current sub (SI4).
+  agent->set_trigger("noop", 3, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+  // s6 (visit 1) was NOT compensated: only SI4's s5 was. touches:
+  // s6 +1, s5 +1, comp -1, re-run s5 +1, s9 +1 = 3.
+  EXPECT_EQ(wl->data().weak("touches").as_int(), 3);
+  // visits: s6, s5 committed (2), s4 aborted, re-run s5 s4 (4), SI5 (6).
+  EXPECT_EQ(wl->visits(), 6);
+}
+
+TEST(NestedItineraryTest, RollbackOfEnclosingSub) {
+  // "...or it can also roll back the enclosing sub-itinerary SI3 (by
+  // additionally compensating s6)."
+  TestWorld w;
+  register_workload(w.platform);
+  auto agent = fig6_agent();
+  agent->set_trigger("noop", 3, "sub", 1);  // one level out: SI3
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+  // Both s6 AND s5 compensated; everything re-ran.
+  // touches: +2 (s6,s5), -2 (comp), re-run +2, s9 +1 = 3.
+  EXPECT_EQ(wl->data().weak("touches").as_int(), 3);
+  // visits: 2 committed, abort, re-run s6 s5 s4 s9 s10 = 2 + 5 = 7.
+  EXPECT_EQ(wl->visits(), 7);
+}
+
+TEST(NestedItineraryTest, LightweightSavepointWrittenForImmediateNesting) {
+  // "agent begins with SI3 and immediately continues with SI4": only one
+  // data-carrying savepoint is necessary; the nested one is lightweight.
+  TestWorld w;
+  register_workload(w.platform);
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary si4;
+  si4.step("touch_split", TestWorld::n(1)).step("noop", TestWorld::n(2));
+  Itinerary si3;
+  si3.sub(std::move(si4)).step("noop", TestWorld::n(3));
+  Itinerary main;
+  main.sub(std::move(si3));
+  agent->itinerary() = std::move(main);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  const auto sps = w.trace.of_kind(TraceKind::savepoint);
+  ASSERT_EQ(sps.size(), 2u);  // SI3 and SI4, written at launch
+  EXPECT_EQ(sps[1].detail.find("lightweight") != std::string::npos, true);
+  EXPECT_EQ(sps[0].detail.find("lightweight"), std::string::npos);
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+}
+
+TEST(NestedItineraryTest, RollbackAcrossCompletedNestedSub) {
+  // SI4 completes (its savepoint is GC'd); the agent then rolls back the
+  // enclosing SI3 from inside SI5 — the compensation must cross SI4's
+  // operation entries even though SI4's savepoint entry is gone.
+  TestWorld w;
+  register_workload(w.platform);
+  auto agent = fig6_agent();
+  // Trigger inside SI5's noop (N4): visits: s6=1, s5=2, s4=3, s9=4, s10=5.
+  agent->set_trigger("noop", 5, "sub", 0);
+  // levels 0 from inside SI5 = SI5... we want SI3: SI5 is current (depth
+  // 2), SI3 is depth 1 → levels_up=1.
+  agent->set_trigger("noop", 5, "sub", 1);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done)
+      << w.platform.outcome(id.value()).status;
+  EXPECT_GE(w.trace.count(TraceKind::sp_gc), 1u);
+  EXPECT_EQ(w.trace.count(TraceKind::restore), 1u);
+  auto fin = w.platform.decode(w.platform.outcome(id.value()).final_agent);
+  auto* wl = dynamic_cast<WorkloadAgent*>(fin.get());
+  // First pass: s6 +1, s5 +1, s9 +1 = 3; compensation -3; re-run +3 = 3.
+  EXPECT_EQ(wl->data().weak("touches").as_int(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Failing compensation (Sec. 3.2)
+// ---------------------------------------------------------------------------
+
+TEST(FailingCompensationTest, PermanentlyFailingCompensationFailsAgent) {
+  // An agent deposits into an account; before the rollback compensates
+  // (withdraws), the money is drained and the account allows no
+  // overdraft: the compensating operation can never succeed.
+  PlatformConfig cfg;
+  cfg.max_compensation_attempts = 5;
+  TestWorld w(cfg);
+  register_workload(w.platform);
+  w.open_account(1, "acct", 0, /*overdraft=*/false);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub({{"deposit", 1}, {"noop", 2}});
+  agent->data().weak("cash") = std::int64_t{100};
+  agent->set_trigger("noop", 2, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+
+  // Drain the account as soon as the deposit committed, before the
+  // rollback's compensating withdraw can run.
+  w.sim.run_while_pending([&] {
+    return resource::Bank::balance_in(w.committed(1, "bank"), "acct") == 50;
+  });
+  auto state = w.committed(1, "bank");
+  state.as_map().at("accounts").as_map().at("acct").set("balance",
+                                                        std::int64_t{0});
+  w.platform.node(TestWorld::n(1)).resources().poke_state("bank",
+                                                          std::move(state));
+
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  const auto& out = w.platform.outcome(id.value());
+  EXPECT_EQ(out.state, agent::AgentOutcome::State::failed);
+  EXPECT_EQ(out.status.code(), Errc::compensation_failed);
+}
+
+TEST(FailingCompensationTest, TransientCompensationFailureRetries) {
+  // Same setup, but the money returns before the retry limit: the
+  // compensation must eventually succeed (Sec. 4.3's retry loop).
+  PlatformConfig cfg;
+  cfg.max_compensation_attempts = 0;  // retry forever
+  TestWorld w(cfg);
+  register_workload(w.platform);
+  w.open_account(1, "acct", 0, /*overdraft=*/false);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub({{"deposit", 1}, {"noop", 2}});
+  agent->data().weak("cash") = std::int64_t{100};
+  agent->set_trigger("noop", 2, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+
+  w.sim.run_while_pending([&] {
+    return resource::Bank::balance_in(w.committed(1, "bank"), "acct") == 50;
+  });
+  // Drain, then re-fund later: the compensation fails a few times first.
+  auto state = w.committed(1, "bank");
+  state.as_map().at("accounts").as_map().at("acct").set("balance",
+                                                        std::int64_t{0});
+  w.platform.node(TestWorld::n(1)).resources().poke_state("bank",
+                                                          std::move(state));
+  w.sim.schedule_after(500'000, [&] {
+    auto s2 = w.committed(1, "bank");
+    s2.as_map().at("accounts").as_map().at("acct").set("balance",
+                                                       std::int64_t{60});
+    w.platform.node(TestWorld::n(1)).resources().poke_state("bank",
+                                                            std::move(s2));
+  });
+
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  EXPECT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  EXPECT_GE(w.trace.count(TraceKind::comp_abort), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Misc end-to-end behaviours
+// ---------------------------------------------------------------------------
+
+TEST(RollbackE2eTest, TwoSequentialRollbacksInOneRun) {
+  TestWorld w;
+  register_workload(w.platform);
+  for (int n = 1; n <= 3; ++n) w.open_account(n, "acct", 1000);
+
+  auto agent = std::make_unique<WorkloadAgent>();
+  agent->itinerary() = single_sub(
+      {{"withdraw", 1}, {"withdraw", 2}, {"noop", 3}, {"noop", 3}});
+  // First rollback at visit 3 (first noop), second at visit 7 (the same
+  // noop on the re-run: 3 committed + abort + re-run 1,2 → visits 6,
+  // noop → 7).
+  agent->set_trigger("noop", 3, "sub", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  // Swap the trigger mid-flight is impossible (the agent is serialized),
+  // so encode the second trigger up front: at==3 only fires once; use a
+  // second agent run instead to assert repeatability.
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  ASSERT_EQ(w.platform.outcome(id.value()).state,
+            agent::AgentOutcome::State::done);
+  EXPECT_EQ(w.trace.count(TraceKind::rollback_done), 1u);
+
+  // Second agent, triggering at its own visit 3: state composes.
+  auto agent2 = std::make_unique<WorkloadAgent>();
+  agent2->itinerary() = single_sub(
+      {{"withdraw", 1}, {"withdraw", 2}, {"noop", 3}, {"noop", 3}});
+  agent2->set_trigger("noop", 3, "sub", 0);
+  auto id2 = w.platform.launch(std::move(agent2));
+  ASSERT_TRUE(id2.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id2.value()));
+  ASSERT_EQ(w.platform.outcome(id2.value()).state,
+            agent::AgentOutcome::State::done);
+  EXPECT_EQ(w.trace.count(TraceKind::rollback_done), 2u);
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(1, "bank"), "acct"), 800);
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(2, "bank"), "acct"), 800);
+}
+
+TEST(RollbackE2eTest, ConcurrentAgentsStayIsolated) {
+  // Two agents tour the same banks; locking serializes their step
+  // transactions, aborted steps restart, and both terminate with
+  // exactly-once effects.
+  TestWorld w;
+  register_workload(w.platform);
+  for (int n = 1; n <= 4; ++n) w.open_account(n, "acct", 1000);
+
+  std::vector<AgentId> ids;
+  for (int a = 0; a < 2; ++a) {
+    auto agent = std::make_unique<WorkloadAgent>();
+    agent->itinerary() = single_sub(
+        {{"withdraw", 1}, {"withdraw", 2}, {"withdraw", 3}, {"withdraw", 4}});
+    auto id = w.platform.launch(std::move(agent));
+    ASSERT_TRUE(id.is_ok());
+    ids.push_back(id.value());
+  }
+  for (const auto id : ids) {
+    ASSERT_TRUE(w.platform.run_until_finished(id));
+    ASSERT_EQ(w.platform.outcome(id).state, agent::AgentOutcome::State::done);
+  }
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_EQ(resource::Bank::balance_in(w.committed(n, "bank"), "acct"), 800)
+        << "node " << n;
+  }
+}
+
+TEST(RollbackE2eTest, RollbackBeyondDiscardedLogFails) {
+  // After a top-level sub-itinerary completes, its rollback information is
+  // discarded; a later rollback targeting a savepoint from that era must
+  // fail cleanly (the paper: an abort of the agent is only possible
+  // during the FIRST sub-itinerary).
+  TestWorld w;
+  register_workload(w.platform);
+  auto agent = std::make_unique<WorkloadAgent>();
+  Itinerary first;
+  first.step("savepoint", TestWorld::n(1));
+  Itinerary second;
+  second.step("noop", TestWorld::n(2));
+  Itinerary main;
+  main.sub(std::move(first)).sub(std::move(second));
+  agent->itinerary() = std::move(main);
+  // In the second sub-itinerary, target the ad-hoc savepoint taken in the
+  // first — its log entries were discarded at the boundary.
+  agent->set_trigger("noop", 2, "last_sp", 0);
+  auto id = w.platform.launch(std::move(agent));
+  ASSERT_TRUE(id.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(id.value()));
+  const auto& out = w.platform.outcome(id.value());
+  EXPECT_EQ(out.state, agent::AgentOutcome::State::failed);
+  EXPECT_EQ(out.status.code(), Errc::not_found);
+}
+
+TEST(RollbackE2eTest, StepRestartAfterLockConflictPreservesExactlyOnce) {
+  // Agent B's step hits agent A's lock, aborts and restarts; the restart
+  // must not double-apply B's resource operations.
+  PlatformConfig cfg;
+  cfg.resource_op_service_us = 50'000;  // widen the conflict window
+  TestWorld w(cfg);
+  register_workload(w.platform);
+  w.open_account(1, "acct", 1000);
+
+  auto a = std::make_unique<WorkloadAgent>();
+  a->itinerary() = single_sub({{"withdraw", 1}, {"noop", 2}});
+  auto b = std::make_unique<WorkloadAgent>();
+  b->itinerary() = single_sub({{"withdraw", 1}, {"noop", 2}});
+  auto ida = w.platform.launch(std::move(a));
+  auto idb = w.platform.launch(std::move(b));
+  ASSERT_TRUE(ida.is_ok());
+  ASSERT_TRUE(idb.is_ok());
+  ASSERT_TRUE(w.platform.run_until_finished(ida.value()));
+  ASSERT_TRUE(w.platform.run_until_finished(idb.value()));
+  EXPECT_EQ(resource::Bank::balance_in(w.committed(1, "bank"), "acct"), 800);
+}
+
+}  // namespace
+}  // namespace mar

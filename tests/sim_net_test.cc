@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event kernel and the simulated network
+// (latency/bandwidth cost model, reliable transport, fault handling).
+#include <gtest/gtest.h>
+
+#include "net/fault_injector.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/trace.h"
+
+namespace mar {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  sim::Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.schedule_after(5, chain);
+  };
+  sim.schedule_after(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), 45u);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastChecks) {
+  sim::Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), LogicError);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClock) {
+  sim::Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, RunWhilePendingStopsOnPredicate) {
+  sim::Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i * 10, [&] { ++count; });
+  const bool hit = sim.run_while_pending([&] { return count == 4; });
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(count, 4);
+}
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  TraceSink trace;
+  net::Network net{sim, trace};
+  std::vector<std::pair<NodeId, std::string>> received;
+
+  void add(std::uint32_t id) {
+    net.add_node(NodeId(id), [this, id](const net::Message& m) {
+      received.emplace_back(NodeId(id), m.type);
+    });
+  }
+  static net::Message msg(std::uint32_t from, std::uint32_t to,
+                          std::string type, std::size_t size = 0) {
+    net::Message m;
+    m.from = NodeId(from);
+    m.to = NodeId(to);
+    m.type = std::move(type);
+    m.payload.resize(size);
+    return m;
+  }
+};
+
+TEST_F(NetFixture, DeliversWithLatencyAndBandwidth) {
+  add(1);
+  add(2);
+  net::LinkParams lp;
+  lp.latency_us = 1000;
+  lp.bandwidth_bytes_per_us = 2.0;
+  net.set_default_link(lp);
+
+  net.send(msg(1, 2, "x", 2000));  // + header
+  sim.run_while_pending([&] { return !received.empty(); });
+  const auto expected =
+      1000 + static_cast<sim::TimeUs>((2000 + 1 + 48) / 2.0);
+  EXPECT_EQ(sim.now(), expected);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].second, "x");
+}
+
+TEST_F(NetFixture, TransferTimeMatchesFormula) {
+  add(1);
+  add(2);
+  net::LinkParams lp;
+  lp.latency_us = 500;
+  lp.bandwidth_bytes_per_us = 1.25;
+  net.set_link(NodeId(1), NodeId(2), lp);
+  EXPECT_EQ(net.transfer_time(NodeId(1), NodeId(2), 1250), 500u + 1000u);
+  EXPECT_EQ(net.transfer_time(NodeId(1), NodeId(1), 9999), 0u);
+}
+
+TEST_F(NetFixture, LocalSendBypassesNetworkCost) {
+  add(1);
+  net.send(msg(1, 1, "loop"));
+  sim.run();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 0u);
+}
+
+TEST_F(NetFixture, RetransmitsUntilNodeRecovers) {
+  add(1);
+  add(2);
+  net.crash_node(NodeId(2));
+  net.send(msg(1, 2, "x"));
+  sim.schedule_at(500'000, [&] { net.recover_node(NodeId(2)); });
+  sim.run_while_pending([&] { return !received.empty(); });
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_GE(sim.now(), 500'000u);
+  EXPECT_GT(net.stats().transmissions, 1u);
+  // Exactly one dispatch despite many transmissions.
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetFixture, LinkOutageDelaysDelivery) {
+  add(1);
+  add(2);
+  net.set_link_up(NodeId(1), NodeId(2), false);
+  net.send(msg(1, 2, "x"));
+  sim.schedule_at(300'000, [&] { net.set_link_up(NodeId(1), NodeId(2), true); });
+  sim.run_while_pending([&] { return !received.empty(); });
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_GE(sim.now(), 300'000u);
+}
+
+TEST_F(NetFixture, StatsAccumulatePerType) {
+  add(1);
+  add(2);
+  net.send(msg(1, 2, "alpha", 100));
+  net.send(msg(1, 2, "alpha", 100));
+  net.send(msg(1, 2, "beta", 10));
+  sim.run_while_pending([&] { return received.size() == 3; });
+  EXPECT_EQ(net.stats().messages_sent, 3u);
+  EXPECT_GT(net.stats().bytes_by_type.at("alpha"),
+            net.stats().bytes_by_type.at("beta"));
+}
+
+TEST_F(NetFixture, CrashNotifiesSubscribers) {
+  add(1);
+  std::vector<std::pair<NodeId, bool>> events;
+  net.subscribe_node_state(
+      [&](NodeId n, bool up) { events.emplace_back(n, up); });
+  net.crash_node(NodeId(1));
+  net.crash_node(NodeId(1));  // idempotent
+  net.recover_node(NodeId(1));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].second);
+  EXPECT_TRUE(events[1].second);
+  EXPECT_EQ(trace.count(TraceKind::crash), 1u);
+  EXPECT_EQ(trace.count(TraceKind::recover), 1u);
+}
+
+TEST(FaultInjectorTest, ScheduledCrashesFire) {
+  sim::Simulator sim;
+  TraceSink trace;
+  net::Network net(sim, trace);
+  net.add_node(NodeId(1), [](const net::Message&) {});
+  net::FaultInjector inj(sim, net);
+  inj.crash_at(NodeId(1), 1000, 500);
+  sim.run_until(999);
+  EXPECT_TRUE(net.node_up(NodeId(1)));
+  sim.run_until(1200);
+  EXPECT_FALSE(net.node_up(NodeId(1)));
+  sim.run_until(2000);
+  EXPECT_TRUE(net.node_up(NodeId(1)));
+  EXPECT_EQ(inj.crashes_injected(), 1u);
+}
+
+TEST(FaultInjectorTest, RandomPlanIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    TraceSink trace;
+    net::Network net(sim, trace);
+    for (std::uint32_t i = 1; i <= 3; ++i) {
+      net.add_node(NodeId(i), [](const net::Message&) {});
+    }
+    net::FaultInjector inj(sim, net);
+    Rng rng(seed);
+    net::FaultInjector::CrashPlan plan;
+    plan.mean_time_between_crashes_us = 100'000;
+    plan.mean_downtime_us = 10'000;
+    plan.horizon_us = 1'000'000;
+    inj.random_crashes(net.node_ids(), rng, plan);
+    sim.run();
+    return std::make_pair(inj.crashes_injected(), sim.now());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace mar

@@ -1,0 +1,342 @@
+// Unit tests for stable storage, queue staging, and the distributed
+// transaction manager (1PC fast path, 2PC, presumed abort, recovery).
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "storage/stable_storage.h"
+#include "tx/queue_manager.h"
+#include "tx/tx_manager.h"
+#include "util/trace.h"
+
+namespace mar {
+namespace {
+
+using storage::QueueRecord;
+using storage::RecordKind;
+using storage::StableStorage;
+
+QueueRecord record(std::uint64_t id, std::uint64_t agent = 1) {
+  QueueRecord r;
+  r.record_id = id;
+  r.agent = AgentId(agent);
+  r.kind = RecordKind::execute;
+  r.payload = {1, 2, 3};
+  return r;
+}
+
+TEST(StableStorageTest, KvBasics) {
+  StableStorage s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.put("k", {1, 2});
+  ASSERT_TRUE(s.get("k").has_value());
+  EXPECT_EQ(s.get("k")->size(), 2u);
+  EXPECT_TRUE(s.contains("k"));
+  EXPECT_TRUE(s.erase("k"));
+  EXPECT_FALSE(s.erase("k"));
+}
+
+TEST(StableStorageTest, PrefixScan) {
+  StableStorage s;
+  s.put("a:1", {});
+  s.put("a:2", {});
+  s.put("b:1", {});
+  EXPECT_EQ(s.keys_with_prefix("a:").size(), 2u);
+  EXPECT_EQ(s.keys_with_prefix("b:").size(), 1u);
+  EXPECT_TRUE(s.keys_with_prefix("c:").empty());
+}
+
+TEST(StableStorageTest, QueueFifoAndRemove) {
+  StableStorage s;
+  s.enqueue(record(1));
+  s.enqueue(record(2));
+  ASSERT_NE(s.front(), nullptr);
+  EXPECT_EQ(s.front()->record_id, 1u);
+  EXPECT_TRUE(s.remove(1));
+  EXPECT_EQ(s.front()->record_id, 2u);
+  EXPECT_FALSE(s.remove(1));
+}
+
+TEST(StableStorageTest, DuplicateEnqueueIgnoredEvenAfterRemoval) {
+  // Exactly-once: a duplicate commit of the same transfer must not
+  // resurrect a consumed record.
+  StableStorage s;
+  s.enqueue(record(7));
+  EXPECT_TRUE(s.remove(7));
+  s.enqueue(record(7));
+  EXPECT_TRUE(s.queue_empty());
+}
+
+TEST(StableStorageTest, MetersBytesWritten) {
+  StableStorage s;
+  const auto before = s.stats().bytes_written;
+  s.put("key", serial::Bytes(100));
+  s.enqueue(record(1));
+  EXPECT_GT(s.stats().bytes_written, before + 100);
+  EXPECT_EQ(s.stats().kv_writes, 1u);
+  EXPECT_EQ(s.stats().queue_ops, 1u);
+}
+
+TEST(QueueRecordTest, SerializationRoundTrip) {
+  QueueRecord r;
+  r.record_id = 42;
+  r.agent = AgentId(9);
+  r.kind = RecordKind::compensate;
+  r.rollback_target = SavepointId(3);
+  r.payload = {9, 9, 9};
+  serial::Encoder enc;
+  r.serialize(enc);
+  serial::Decoder dec(enc.buffer());
+  QueueRecord back;
+  back.deserialize(dec);
+  EXPECT_EQ(back.record_id, 42u);
+  EXPECT_EQ(back.agent, AgentId(9));
+  EXPECT_EQ(back.kind, RecordKind::compensate);
+  EXPECT_EQ(back.rollback_target, SavepointId(3));
+  EXPECT_EQ(back.payload, serial::Bytes({9, 9, 9}));
+}
+
+// --------------------------------------------------------------------------
+// QueueManager as a participant
+// --------------------------------------------------------------------------
+
+TEST(QueueManagerTest, CommitAppliesStagedOps) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.enqueue(record(1));
+  const TxId tx(100);
+  qm.stage_remove(tx, 1);
+  qm.stage_enqueue(tx, record(2));
+  EXPECT_TRUE(qm.has_tx(tx));
+  // Nothing applied until commit.
+  EXPECT_EQ(s.front()->record_id, 1u);
+  EXPECT_TRUE(qm.prepare(tx));
+  qm.commit(tx);
+  ASSERT_NE(s.front(), nullptr);
+  EXPECT_EQ(s.front()->record_id, 2u);
+  EXPECT_FALSE(qm.has_tx(tx));
+}
+
+TEST(QueueManagerTest, AbortDiscardsStagedOps) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.enqueue(record(1));
+  const TxId tx(100);
+  qm.stage_remove(tx, 1);
+  qm.abort(tx);
+  EXPECT_EQ(s.front()->record_id, 1u);
+}
+
+TEST(QueueManagerTest, PreparedStateSurvivesCrash) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  const TxId prepared_tx(1);
+  const TxId volatile_tx(2);
+  qm.stage_enqueue(prepared_tx, record(10));
+  qm.stage_enqueue(volatile_tx, record(20));
+  EXPECT_TRUE(qm.prepare(prepared_tx));
+  qm.on_crash();  // volatile staging evaporates, prepared reloads
+  EXPECT_TRUE(qm.has_tx(prepared_tx));
+  EXPECT_FALSE(qm.has_tx(volatile_tx));
+  qm.commit(prepared_tx);
+  ASSERT_NE(s.front(), nullptr);
+  EXPECT_EQ(s.front()->record_id, 10u);
+}
+
+TEST(QueueManagerTest, CommitIsIdempotent) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  const TxId tx(1);
+  qm.stage_enqueue(tx, record(10));
+  EXPECT_TRUE(qm.prepare(tx));
+  qm.commit(tx);
+  qm.commit(tx);  // duplicate decision delivery
+  EXPECT_EQ(s.queue().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// TxManager: 2PC
+// --------------------------------------------------------------------------
+
+struct TxWorld {
+  sim::Simulator sim;
+  TraceSink trace;
+  net::Network net{sim, trace};
+  struct Node {
+    StableStorage storage;
+    std::unique_ptr<tx::QueueManager> qm;
+    std::unique_ptr<tx::TxManager> txm;
+  };
+  std::map<NodeId, Node> nodes;
+
+  explicit TxWorld(int n) {
+    for (int i = 1; i <= n; ++i) {
+      const NodeId id(static_cast<std::uint32_t>(i));
+      auto& node = nodes[id];
+      node.qm = std::make_unique<tx::QueueManager>(node.storage);
+      node.txm = std::make_unique<tx::TxManager>(id, sim, net, node.storage);
+      node.txm->register_participant(*node.qm);
+      net.add_node(id, [this, id](const net::Message& m) {
+        nodes.at(id).txm->on_message(m);
+      });
+      net.subscribe_node_state([this, id](NodeId n2, bool up) {
+        if (n2 != id) return;
+        if (up) {
+          nodes.at(id).txm->on_recover();
+        } else {
+          nodes.at(id).txm->on_crash();
+        }
+      });
+    }
+  }
+  Node& n(int i) { return nodes.at(NodeId(static_cast<std::uint32_t>(i))); }
+};
+
+TEST(TxManagerTest, TxIdEncodesCoordinator) {
+  const TxId tx = tx::make_tx_id(NodeId(7), 123);
+  EXPECT_EQ(tx::coordinator_of(tx), NodeId(7));
+}
+
+TEST(TxManagerTest, LocalOnlyCommit) {
+  TxWorld w(1);
+  auto& n1 = w.n(1);
+  const TxId tx = n1.txm->begin();
+  n1.qm->stage_enqueue(tx, record(1));
+  bool committed = false;
+  n1.txm->commit_async(tx, [&](bool ok) { committed = ok; });
+  w.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(n1.storage.queue().size(), 1u);
+  EXPECT_TRUE(n1.txm->idle());
+}
+
+TEST(TxManagerTest, DistributedCommitAppliesOnBothNodes) {
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n1.qm->stage_remove(tx, 99);  // no-op remove, still stages
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  bool committed = false;
+  n1.txm->commit_async(tx, [&](bool ok) { committed = ok; });
+  w.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(n2.storage.queue().size(), 1u);
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, AbortDiscardsRemoteStaging) {
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  n1.txm->abort_tx(tx);
+  w.sim.run();
+  EXPECT_TRUE(n2.storage.queue_empty());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, ParticipantVotesNoWhenStagingLost) {
+  // Participant crashed after staging but before prepare: its volatile
+  // staging is gone, so it must vote NO and the commit must fail.
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  // Crash + instant recovery wipes volatile staging.
+  w.net.crash_node(NodeId(2));
+  w.net.recover_node(NodeId(2));
+  bool done = false;
+  bool committed = true;
+  n1.txm->commit_async(tx, [&](bool ok) {
+    done = true;
+    committed = ok;
+  });
+  w.sim.run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(committed);
+  EXPECT_TRUE(n2.storage.queue_empty());
+}
+
+TEST(TxManagerTest, CommitSurvivesParticipantCrashAfterPrepare) {
+  // Once prepared, the participant must apply the decision after recovery
+  // (coordinator re-drives COMMIT).
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+
+  bool committed = false;
+  n1.txm->commit_async(tx, [&](bool ok) { committed = ok; });
+  // Let PREPARE/VOTE happen, then crash N2 just as COMMIT is in flight.
+  w.sim.schedule_at(1'500, [&] { w.net.crash_node(NodeId(2)); });
+  w.sim.schedule_at(400'000, [&] { w.net.recover_node(NodeId(2)); });
+  w.sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(n2.storage.queue().size(), 1u);
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, PresumedAbortAfterCoordinatorCrash) {
+  // Coordinator crashes before deciding: the prepared participant must
+  // learn ABORT through its inquiry (presumed abort).
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  n1.txm->commit_async(tx, [](bool) {});
+  // Crash the coordinator while votes are in flight; recover later.
+  w.sim.schedule_at(700, [&] { w.net.crash_node(NodeId(1)); });
+  w.sim.schedule_at(600'000, [&] { w.net.recover_node(NodeId(1)); });
+  w.sim.run();
+  EXPECT_TRUE(n2.storage.queue_empty());  // aborted, nothing applied
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, DecisionRecordRedrivenAfterCoordinatorCrash) {
+  // Coordinator crashes right after persisting the commit decision: on
+  // recovery it must re-drive COMMIT from the decision record.
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  n1.txm->commit_async(tx, [](bool) {});
+  // Prepare round trip takes ~2 * (latency + ack); crash shortly after the
+  // decision should have been persisted but before acks return.
+  w.sim.schedule_at(2'100, [&] { w.net.crash_node(NodeId(1)); });
+  w.sim.schedule_at(500'000, [&] { w.net.recover_node(NodeId(1)); });
+  w.sim.run();
+  // Whatever the exact crash interleaving, the protocol must converge with
+  // both sides idle and consistent: either both applied or neither.
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+  if (n1.storage.keys_with_prefix("txdec:").empty() &&
+      !n2.storage.queue_empty()) {
+    SUCCEED();  // committed everywhere
+  } else {
+    EXPECT_TRUE(n2.storage.queue_empty());  // aborted everywhere
+  }
+}
+
+}  // namespace
+}  // namespace mar
