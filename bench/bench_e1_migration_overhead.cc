@@ -68,7 +68,9 @@ Row measure(int steps, std::int64_t param_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::BenchReport report("e1_migration_overhead");
   std::cout << "=== E1: migration overhead of the attached rollback log ===\n"
             << "(agent size and per-hop transfer time vs. logged steps)\n\n";
   std::cout << "steps  param_B  agent_B  log_B  log%   hop@10Mbit[us]  "
@@ -86,6 +88,13 @@ int main() {
                 << (100 * r.log_bytes / r.agent_bytes) << "%  "
                 << std::setw(14) << r.hop_10mbit << "  " << std::setw(13)
                 << r.hop_1mbit << "\n";
+      report.row()
+          .set("steps", r.steps)
+          .set("param_bytes", r.param_bytes)
+          .set("agent_bytes", std::uint64_t{r.agent_bytes})
+          .set("log_bytes", std::uint64_t{r.log_bytes})
+          .set("hop_10mbit_us", r.hop_10mbit)
+          .set("hop_1mbit_us", r.hop_1mbit);
       if (r.agent_bytes < prev) monotone = false;
       prev = r.agent_bytes;
     }
@@ -94,5 +103,7 @@ int main() {
   }
   std::cout << "check: agent size grows monotonically with logged steps -> "
             << (monotone ? "OK" : "MISMATCH") << "\n";
+  report.set_ok(monotone);
+  if (!json_path.empty() && !report.write_file(json_path)) return 2;
   return monotone ? 0 : 1;
 }

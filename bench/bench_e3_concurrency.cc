@@ -54,14 +54,16 @@ sim::TimeUs rollback_time(agent::RollbackStrategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::BenchReport report("e3_concurrency");
   std::cout << "=== E3: concurrent execution of ACE and RCE lists ===\n"
             << "(3 compensated steps; rollback latency vs per-op service "
                "time)\n\n";
   std::cout << "RCEs  ACEs  service[us]  basic[ms]  optimized[ms]  speedup\n";
   std::cout << "-------------------------------------------------------\n";
   bool shape_ok = true;
-  for (const auto [rces, aces] :
+  for (const auto& [rces, aces] :
        {std::pair<std::int64_t, std::int64_t>{4, 4},
         {8, 2},
         {2, 8},
@@ -79,6 +81,13 @@ int main() {
                 << std::fixed << std::setprecision(2) << basic / 1000.0
                 << "  " << std::setw(13) << opt / 1000.0 << "  "
                 << std::setw(6) << std::setprecision(2) << speedup << "x\n";
+      report.row()
+          .set("rces", rces)
+          .set("aces", aces)
+          .set("service_us", static_cast<std::uint64_t>(service))
+          .set("basic_us", basic)
+          .set("optimized_us", opt)
+          .set("speedup", speedup);
       if (basic == 0 || opt == 0) shape_ok = false;
       // With large service times the overlap must show: optimized strictly
       // faster than basic for balanced lists.
@@ -87,5 +96,7 @@ int main() {
   }
   std::cout << "\ncheck: optimized < basic at service-dominated settings -> "
             << (shape_ok ? "OK" : "MISMATCH") << "\n";
+  report.set_ok(shape_ok);
+  if (!json_path.empty() && !report.write_file(json_path)) return 2;
   return shape_ok ? 0 : 1;
 }

@@ -16,7 +16,9 @@
 
 using namespace mar;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::BenchReport report("e6_fault_recovery");
   std::cout << "=== E6: rollback completion under transient crashes ===\n"
             << "(8 steps + full-sub rollback; Poisson crash/recover per "
                "node, 200 ms mean downtime)\n\n";
@@ -45,6 +47,8 @@ int main() {
       s.mean_time_between_crashes_us = mtbc_s * 1e6;
       s.mean_downtime_us = 200'000;
       const auto m = bench::run_rollback_scenario(s);
+      m.write_fields(
+          report.row().set("mtbc_s", mtbc_s).set("seed", s.seed));
       ok = ok && m.ok;
       total_ms += m.total_us / 1000.0 / kSeeds;
       rollback_ms += m.rollback_us / 1000.0 / kSeeds;
@@ -62,5 +66,7 @@ int main() {
   std::cout << "\ncheck: every configuration completes (eventual rollback "
                "under transient faults) -> "
             << (all_ok ? "OK" : "MISMATCH") << "\n";
+  report.set_ok(all_ok);
+  if (!json_path.empty() && !report.write_file(json_path)) return 2;
   return all_ok ? 0 : 1;
 }

@@ -6,6 +6,11 @@
 // time, so this is the one place real time matters).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common.h"
 #include "harness/agents.h"
 #include "serial/serializable.h"
 #include "serial/value.h"
@@ -81,4 +86,31 @@ BENCHMARK(BM_PatchApply)->Arg(16)->Arg(256)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so this binary honors the repo-wide
+// `--json <path>` convention (bench/run_all.sh treats every binary
+// uniformly) by translating it into google-benchmark's reporter flags.
+int main(int argc, char** argv) {
+  const std::string json_path = mar::bench::json_path_from_args(argc, argv);
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // skip the path value
+    } else if (!arg.starts_with("--json=")) {
+      args.emplace_back(arg);
+    }
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.push_back(argv[0]);
+  for (auto& arg : args) cargv.push_back(arg.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,135 @@
 #include "common.h"
 
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
 #include "util/check.h"
 
 namespace mar::bench {
+
+// --------------------------------------------------------------------------
+// JSON output
+// --------------------------------------------------------------------------
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonRecord& JsonRecord::raw(std::string_view key, std::string rendered) {
+  fields_.emplace_back(std::string(key), std::move(rendered));
+  return *this;
+}
+
+JsonRecord& JsonRecord::set(std::string_view key, std::uint64_t v) {
+  return raw(key, std::to_string(v));
+}
+JsonRecord& JsonRecord::set(std::string_view key, std::int64_t v) {
+  return raw(key, std::to_string(v));
+}
+JsonRecord& JsonRecord::set(std::string_view key, int v) {
+  return raw(key, std::to_string(v));
+}
+JsonRecord& JsonRecord::set(std::string_view key, double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  MAR_CHECK(ec == std::errc{});
+  return raw(key, std::string(buf, end));
+}
+JsonRecord& JsonRecord::set(std::string_view key, bool v) {
+  return raw(key, v ? "true" : "false");
+}
+JsonRecord& JsonRecord::set(std::string_view key, std::string_view v) {
+  return raw(key, '"' + json_escape(v) + '"');
+}
+
+std::string JsonRecord::to_json() const {
+  std::string out = "{";
+  for (const auto& [key, rendered] : fields_) {
+    if (out.size() > 1) out += ", ";
+    out += '"' + json_escape(key) + "\": " + rendered;
+  }
+  return out + "}";
+}
+
+JsonRecord& BenchReport::row() { return rows_.emplace_back(); }
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\"bench\": \"" + json_escape(name_) + "\", \"ok\": ";
+  out += ok_ ? "true" : "false";
+  out += ", \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\n  " + rows_[i].to_json();
+  }
+  return out + "\n]}\n";
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  out << to_json();
+  out.flush();  // surface buffered-write errors (ENOSPC) before the check
+  if (!out) {
+    std::cerr << "failed to write JSON report to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" || arg == "--json=") {
+      if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+      std::cerr << "error: --json requires a path\n";
+      std::exit(2);
+    }
+    if (arg.starts_with("--json=")) return std::string(arg.substr(7));
+  }
+  return "";
+}
+
+JsonRecord& Metrics::write_fields(JsonRecord& out) const {
+  out.set("ok", ok)
+      .set("total_us", total_us)
+      .set("forward_us", forward_us)
+      .set("rollback_us", rollback_us)
+      .set("rollback_wire_bytes", rollback_wire_bytes)
+      .set("total_wire_bytes", total_wire_bytes)
+      .set("rollback_transfers", rollback_transfers)
+      .set("mixed_ships", mixed_ships)
+      .set("comp_commits", comp_commits)
+      .set("stable_bytes", stable_bytes)
+      .set("crashes", crashes)
+      .set("final_log_bytes", final_log_bytes);
+  return out;
+}
+
+std::string Metrics::to_json() const {
+  JsonRecord rec;
+  return write_fields(rec).to_json();
+}
 
 Metrics run_rollback_scenario(const RollbackScenario& s) {
   harness::TestWorld w(s.config, /*node_count=*/s.steps + 1, s.seed);

@@ -4,6 +4,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "agent/platform.h"
 #include "harness/agents.h"
@@ -34,6 +37,61 @@ struct RollbackScenario {
   sim::TimeUs fault_horizon_us = 120'000'000;
 };
 
+/// One flat JSON object with insertion-ordered fields. Values are rendered
+/// at insertion time, so a record is just the assembled text plus commas
+/// and braces.
+class JsonRecord {
+ public:
+  JsonRecord& set(std::string_view key, std::uint64_t v);
+  JsonRecord& set(std::string_view key, std::int64_t v);
+  JsonRecord& set(std::string_view key, int v);
+  JsonRecord& set(std::string_view key, double v);
+  JsonRecord& set(std::string_view key, bool v);
+  JsonRecord& set(std::string_view key, std::string_view v);
+  /// String literals would otherwise convert to the bool overload.
+  JsonRecord& set(std::string_view key, const char* v) {
+    return set(key, std::string_view(v));
+  }
+
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  JsonRecord& raw(std::string_view key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A bench run's machine-readable output: the bench name, one record per
+/// measured configuration, and the shape-check verdict the binary's exit
+/// code also reports. Serialized form:
+///   {"bench": "<name>", "ok": true, "rows": [{...}, ...]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Append and return a new row; chain .set() calls on the result.
+  JsonRecord& row();
+  void set_ok(bool ok) { ok_ = ok; }
+
+  [[nodiscard]] std::string to_json() const;
+  /// Write the report to `path`; prints to stderr and returns false on
+  /// I/O failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string name_;
+  bool ok_ = true;
+  std::vector<JsonRecord> rows_;
+};
+
+/// Escape `s` for embedding inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// The shared bench CLI convention: `--json <path>` or `--json=<path>`
+/// requests a machine-readable report next to the human-readable table.
+/// Returns the path, or "" when the flag is absent.
+std::string json_path_from_args(int argc, char** argv);
+
 struct Metrics {
   bool ok = false;
   sim::TimeUs total_us = 0;          ///< launch to completion
@@ -47,6 +105,12 @@ struct Metrics {
   std::uint64_t stable_bytes = 0;    ///< stable-storage writes, all nodes
   std::uint64_t crashes = 0;
   std::size_t final_log_bytes = 0;
+
+  /// Append every metric as a field of `out` (flat, snake_case keys);
+  /// returns `out` for chaining.
+  JsonRecord& write_fields(JsonRecord& out) const;
+  /// Serialize as a standalone JSON object.
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Execute the scenario; the run is deterministic in `scenario.seed`.

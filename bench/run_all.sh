@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Run the JSON-emitting bench binaries and consolidate their reports into
+# one machine-readable file (the perf-trajectory input).
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [OUT_FILE]
+#   BUILD_DIR  CMake build directory holding bin/ (default: build)
+#   OUT_FILE   consolidated report path (default: BENCH_results.json)
+#
+# Exit status is non-zero if any bench fails its shape check or the
+# consolidated file is malformed.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_results.json}"
+BIN_DIR="$BUILD_DIR/bin"
+
+if [[ ! -d "$BIN_DIR" ]]; then
+  echo "error: $BIN_DIR not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Every binary here accepts `--json <path>`. bench_micro_codec measures
+# real wall-clock time (google-benchmark) and may be absent when the
+# library isn't installed; it is skipped gracefully.
+BENCHES=(
+  bench_e1_migration_overhead
+  bench_e3_concurrency
+  bench_e6_fault_recovery
+  bench_micro_codec
+)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+ran=()
+for bench in "${BENCHES[@]}"; do
+  bin="$BIN_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "--- $bench: not built, skipping" >&2
+    continue
+  fi
+  echo "--- $bench"
+  "$bin" --json "$tmpdir/$bench.json"
+  ran+=("$bench")
+done
+
+if [[ ${#ran[@]} -eq 0 ]]; then
+  echo "error: no bench binaries found in $BIN_DIR" >&2
+  exit 1
+fi
+
+{
+  printf '{'
+  sep=''
+  for bench in "${ran[@]}"; do
+    printf '%s\n"%s": ' "$sep" "$bench"
+    cat "$tmpdir/$bench.json"
+    sep=','
+  done
+  printf '\n}\n'
+} > "$OUT_FILE"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT_FILE" >/dev/null
+  echo "validated: $OUT_FILE is well-formed JSON"
+fi
+echo "wrote $OUT_FILE (${#ran[@]} benches)"

@@ -109,6 +109,46 @@ TEST(DecoderTest, OverlongVarintThrows) {
   EXPECT_THROW((void)dec.read_varint(), DecodeError);
 }
 
+TEST(DecoderTest, CountWithinRemainingBufferPasses) {
+  Encoder enc;
+  enc.write_varint(3);
+  for (std::uint8_t b : {1, 2, 3}) enc.write_u8(b);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.read_count(), 3u);
+}
+
+TEST(DecoderTest, CountExceedingRemainingBufferThrows) {
+  // Every element costs at least one byte on the wire, so a count larger
+  // than the remaining payload is malformed regardless of element type.
+  Encoder enc;
+  enc.write_varint(4);  // claims 4 elements...
+  enc.write_u8(0);      // ...but only 1 byte follows
+  Decoder dec(enc.buffer());
+  EXPECT_THROW((void)dec.read_count(), DecodeError);
+}
+
+TEST(DecoderTest, HugeCountThrowsBeforeAllocation) {
+  // A corrupted length prefix decoding to ~2^64 must be rejected inside
+  // read_count; callers resize containers directly from the returned
+  // count, so letting it escape would trigger a gigantic allocation.
+  Encoder enc;
+  enc.write_varint(UINT64_MAX);
+  Decoder dec(enc.buffer());
+  EXPECT_THROW((void)dec.read_count(), DecodeError);
+}
+
+TEST(DecoderTest, CorruptedValueListCountIsRejectedStructurally) {
+  // End-to-end: inflate the element count inside an encoded Value list and
+  // check the decode fails with DecodeError instead of over-allocating.
+  Value list = Value::empty_list();
+  list.push_back(1);
+  auto bytes = to_bytes(list);
+  // Wire layout: [kind tag u8][count varint]...; a 1-element list encodes
+  // the count in one byte, so bump it past the remaining payload.
+  bytes[1] = 0x7f;
+  EXPECT_THROW((void)from_bytes<Value>(bytes), DecodeError);
+}
+
 // --------------------------------------------------------------------------
 // Value
 // --------------------------------------------------------------------------
