@@ -27,13 +27,17 @@ BENCHES=(
   bench_e1_migration_overhead
   bench_e3_concurrency
   bench_e6_fault_recovery
+  bench_a4_throughput
   bench_micro_codec
 )
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+# A failing bench (shape check, crash) must not silently vanish from the
+# report: it contributes an {"ok": false} entry and fails the whole run.
 ran=()
+failed=()
 for bench in "${BENCHES[@]}"; do
   bin="$BIN_DIR/$bench"
   if [[ ! -x "$bin" ]]; then
@@ -41,7 +45,17 @@ for bench in "${BENCHES[@]}"; do
     continue
   fi
   echo "--- $bench"
-  "$bin" --json "$tmpdir/$bench.json"
+  rc=0
+  "$bin" --json "$tmpdir/$bench.json" || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "--- $bench: FAILED (exit $rc)" >&2
+    failed+=("$bench")
+  fi
+  if [[ ! -s "$tmpdir/$bench.json" ]]; then
+    # The binary died before writing its report; synthesize a failure row.
+    printf '{"bench": "%s", "ok": false, "rows": []}\n' "${bench#bench_}" \
+      > "$tmpdir/$bench.json"
+  fi
   ran+=("$bench")
 done
 
@@ -66,3 +80,8 @@ if command -v python3 >/dev/null 2>&1; then
   echo "validated: $OUT_FILE is well-formed JSON"
 fi
 echo "wrote $OUT_FILE (${#ran[@]} benches)"
+
+if [[ ${#failed[@]} -gt 0 ]]; then
+  echo "error: ${#failed[@]} bench(es) failed: ${failed[*]}" >&2
+  exit 1
+fi

@@ -55,16 +55,36 @@ void NodeRuntime::enqueue_initial(QueueRecord record) {
 }
 
 void NodeRuntime::pump() {
-  if (!up_ || busy_) return;
-  if (storage_.queue_empty()) return;
-  after(0, [this] { process_front(); });
+  if (!up_) return;
+  const auto slot_cap =
+      std::max<std::uint32_t>(1, p_.config().node_concurrency);
+  while (slots_.size() < slot_cap) {
+    const QueueRecord* next = qm_.next_eligible(busy_agents_);
+    if (next == nullptr) return;
+    const auto record_id = next->record_id;
+    MAR_CHECK(qm_.claim(record_id));
+    slots_.insert(record_id);
+    busy_agents_.insert(next->agent);
+    after(0, [this, record_id] { process_record(record_id); });
+  }
 }
 
-void NodeRuntime::process_front() {
-  if (!up_ || busy_) return;
-  const QueueRecord* front = storage_.front();
-  if (front == nullptr) return;
-  QueueRecord rec = *front;  // stable copy; the queue owns the original
+void NodeRuntime::release_slot(const QueueRecord& rec) {
+  qm_.release(rec.record_id);
+  slots_.erase(rec.record_id);
+  busy_agents_.erase(rec.agent);
+}
+
+std::uint32_t NodeRuntime::attempt_count(std::uint64_t record_id) const {
+  auto it = attempts_.find(record_id);
+  return it == attempts_.end() ? 0 : it->second;
+}
+
+void NodeRuntime::process_record(std::uint64_t record_id) {
+  if (!up_ || !slots_.contains(record_id)) return;
+  const QueueRecord* found = storage_.find_record(record_id);
+  MAR_CHECK_MSG(found != nullptr, "claimed record vanished from the queue");
+  QueueRecord rec = *found;  // stable copy; the queue owns the original
   // Multi-agent executions (Sec. 6): a requested cancellation takes
   // effect at the next step boundary — exactly here, before the record
   // is processed. In-flight rollbacks are never interrupted.
@@ -90,12 +110,11 @@ void NodeRuntime::process_front() {
 void NodeRuntime::execute_launch(const QueueRecord& rec) {
   // The spawn committed with the parent's step; this record only routes
   // the child to its first step's node, with the usual retry machinery.
-  busy_ = true;
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
   std::shared_ptr<Agent> agent = decode(rec.payload);
   const StepEntry step = agent->itinerary().step_at(agent->position());
-  const auto attempt = attempts_[rec.record_id];
+  const auto attempt = attempt_count(rec.record_id);
   const NodeId dest = step.locations[attempt % step.locations.size()];
   QueueRecord next_rec =
       make_record(*agent, RecordKind::execute, SavepointId::invalid());
@@ -107,7 +126,7 @@ void NodeRuntime::execute_launch(const QueueRecord& rec) {
   }
   stage_and_commit(tx, dest, std::move(next_rec),
                    [this, rec](bool committed) {
-                     busy_ = false;
+                     release_slot(rec);
                      if (committed) {
                        attempts_.erase(rec.record_id);
                        pump();
@@ -136,7 +155,6 @@ void NodeRuntime::execute_cancel(const QueueRecord& rec) {
     }
     return;
   }
-  busy_ = true;
   p_.clear_cancel(rec.agent);
   trace(TraceKind::rollback_begin,
         "cancelling agent " + std::to_string(rec.agent.value()) +
@@ -166,7 +184,7 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
                                "cancel: rollback log has no end-of-step"));
     return;
   }
-  const auto attempt = attempts_[rec.record_id];
+  const auto attempt = attempt_count(rec.record_id);
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = QueueRecord::Completion::cancel;
@@ -178,7 +196,7 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
   }
   stage_and_commit(tx, dest, std::move(comp_rec),
                    [this, rec](bool committed) {
-                     busy_ = false;
+                     release_slot(rec);
                      if (committed) {
                        attempts_.erase(rec.record_id);
                        pump();
@@ -194,13 +212,18 @@ void NodeRuntime::retry_later(std::uint64_t record_id) {
       p_.config().retry_backoff_us +
       p_.rng().next_below(p_.config().retry_backoff_us + 1);
   (void)record_id;
-  after(backoff, [this] { process_front(); });
+  after(backoff, [this] { pump(); });
 }
 
 void NodeRuntime::on_node_state(bool up) {
+  // The epoch bump cancels every pending continuation; the slot and claim
+  // wipes invalidate all in-flight executions at once. Their records are
+  // still queued (removal only commits), so recovery re-offers them.
   ++epoch_;
   up_ = up;
-  busy_ = false;
+  slots_.clear();
+  busy_agents_.clear();
+  storage_.clear_claims();
   stage_waiters_.clear();
   rce_waiters_.clear();
   mce_waiters_.clear();
@@ -413,13 +436,13 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
       [this, cleanup, rec, status](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(cleanup);
-          busy_ = false;
+          release_slot(rec);
           retry_later(rec.record_id);
           return;
         }
         txm_.commit_async(cleanup, [this, rec, status](bool committed) {
           if (!committed) {
-            busy_ = false;
+            release_slot(rec);
             retry_later(rec.record_id);
             return;
           }
@@ -430,7 +453,8 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
-          busy_ = false;
+          attempts_.erase(rec.record_id);
+          release_slot(rec);
           pump();
         });
       });
@@ -446,14 +470,14 @@ void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
       [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(tx);
-          busy_ = false;
+          release_slot(rec);
           retry_later(rec.record_id);
           return;
         }
         txm_.commit_async(tx, [this, rec, final_bytes = std::move(
                                               final_bytes)](bool ok) {
           if (!ok) {
-            busy_ = false;
+            release_slot(rec);
             retry_later(rec.record_id);
             return;
           }
@@ -465,7 +489,8 @@ void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
-          busy_ = false;
+          attempts_.erase(rec.record_id);
+          release_slot(rec);
           pump();
         });
       });
@@ -524,7 +549,7 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
       [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(tx);
-          busy_ = false;
+          release_slot(rec);
           retry_later(rec.record_id);
           return;
         }
@@ -532,7 +557,7 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
                                final_bytes =
                                    std::move(final_bytes)](bool ok) {
           if (!ok) {
-            busy_ = false;
+            release_slot(rec);
             retry_later(rec.record_id);
             return;
           }
@@ -545,7 +570,8 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
-          busy_ = false;
+          attempts_.erase(rec.record_id);
+          release_slot(rec);
           pump();
         });
       });
@@ -556,7 +582,6 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
 // ---------------------------------------------------------------------------
 
 void NodeRuntime::execute_step(const QueueRecord& rec) {
-  busy_ = true;
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
   std::shared_ptr<Agent> agent = decode(rec.payload);
@@ -579,13 +604,18 @@ void NodeRuntime::execute_step(const QueueRecord& rec) {
   }
 
   if (ctx.fatal()) {
-    // Lock conflict / forced abort: undo and restart the step later.
+    // Lock conflict / forced abort: undo and restart the step later. A
+    // lock conflict here is the multiprogramming cost of concurrent slots
+    // (or of a sibling agent) — count it so A4 can report the contention.
+    if (ctx.fatal_status().code() == Errc::lock_conflict) {
+      ++p_.lock_conflict_aborts();
+    }
     txm_.abort_tx(tx);
     trace(TraceKind::step_abort, step.method + ": " +
                                      ctx.fatal_status().to_string() +
                                      " (will restart)");
     ++attempts_[rec.record_id];
-    busy_ = false;
+    release_slot(rec);
     retry_later(rec.record_id);
     return;
   }
@@ -766,7 +796,7 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
     // Route to the next step's node; rotate through the alternatives on
     // repeated failures (fault-tolerant execution, ref [11]).
     const StepEntry next_step = agent->itinerary().step_at(agent->position());
-    const auto attempt = attempts_[rec.record_id];
+    const auto attempt = attempt_count(rec.record_id);
     const NodeId dest =
         next_step.locations[attempt % next_step.locations.size()];
     QueueRecord next_rec =
@@ -792,7 +822,7 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
                            p_.forget_agent(child);
                          }
                        }
-                       busy_ = false;
+                       release_slot(rec);
                        if (committed) {
                          pump();
                        } else {
@@ -889,13 +919,13 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
       apply_next_alternative(*agent, target);
     }
     const StepEntry step = agent->itinerary().step_at(agent->position());
-    const auto attempt = attempts_[rec.record_id];
+    const auto attempt = attempt_count(rec.record_id);
     const NodeId dest = step.locations[attempt % step.locations.size()];
     QueueRecord next_rec =
         make_record(*agent, RecordKind::execute, SavepointId::invalid());
     stage_and_commit(tx, dest, std::move(next_rec),
                      [this, rec](bool committed) {
-                       busy_ = false;
+                       release_slot(rec);
                        if (committed) {
                          attempts_.erase(rec.record_id);
                          pump();
@@ -915,7 +945,7 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
                                "rollback log has no end-of-step entry"));
     return;
   }
-  const auto attempt = attempts_[rec.record_id];
+  const auto attempt = attempt_count(rec.record_id);
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = completion;
@@ -928,7 +958,7 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
   }
   stage_and_commit(tx, dest, std::move(comp_rec),
                    [this, rec](bool committed) {
-                     busy_ = false;
+                     release_slot(rec);
                      if (committed) {
                        attempts_.erase(rec.record_id);
                        pump();
@@ -996,7 +1026,6 @@ Status NodeRuntime::run_comp_op(TxId tx, const OperationEntry& op,
 }
 
 void NodeRuntime::execute_compensation(const QueueRecord& rec) {
-  busy_ = true;
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
   std::shared_ptr<Agent> agent = decode(rec.payload);
@@ -1056,7 +1085,7 @@ void NodeRuntime::execute_compensation(const QueueRecord& rec) {
       return;
     }
     txm_.abort_tx(tx);
-    busy_ = false;
+    release_slot(rec);
     retry_later(rec.record_id);
   };
 
@@ -1240,7 +1269,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
       apply_next_alternative(*agent, target);
     }
     const StepEntry step = agent->itinerary().step_at(agent->position());
-    const auto attempt = attempts_[rec.record_id];
+    const auto attempt = attempt_count(rec.record_id);
     const NodeId dest = step.locations[attempt % step.locations.size()];
     QueueRecord next_rec =
         make_record(*agent, RecordKind::execute, SavepointId::invalid());
@@ -1251,7 +1280,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
     }
     stage_and_commit(tx, dest, std::move(next_rec),
                      [this, rec](bool committed) {
-                       busy_ = false;
+                       release_slot(rec);
                        if (committed) {
                          trace(TraceKind::comp_commit, "CT committed");
                          attempts_.erase(rec.record_id);
@@ -1276,7 +1305,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
                       "target savepoint not reached but log is exhausted"));
     return;
   }
-  const auto attempt = attempts_[rec.record_id];
+  const auto attempt = attempt_count(rec.record_id);
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = rec.completion;
@@ -1289,7 +1318,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
   }
   stage_and_commit(tx, dest, std::move(comp_rec),
                    [this, rec](bool committed) {
-                     busy_ = false;
+                     release_slot(rec);
                      if (committed) {
                        trace(TraceKind::comp_commit, "CT committed");
                        attempts_.erase(rec.record_id);

@@ -2,7 +2,10 @@
 //
 // Each node owns its stable storage (with the agent input queue), a
 // transactional queue manager and resource manager, and a transaction
-// manager. The runtime processes queue records one at a time:
+// manager. The runtime multiprograms the queue through a configurable
+// number of execution slots (PlatformConfig::node_concurrency); each slot
+// claims one record by id — per-agent exclusion, FIFO otherwise — and
+// processes it:
 //
 //   execute records   -> the exactly-once step protocol: run the step in a
 //                        step transaction, append BOS/OE/EOS (+SP) entries
@@ -14,15 +17,20 @@
 //                        reached and the strongly reversible objects are
 //                        restored.
 //
-// Any abort — lock conflict, crash, vote-no, timeout — leaves the record
-// in the queue; the runtime retries after a backoff, possibly routing to
-// an alternative node, which is exactly the restartability the paper's
-// correctness argument relies on.
+// Concurrent slots are isolated by their transactions: resource locks are
+// strict and exclusive, so two slots touching the same resource surface a
+// lock conflict that aborts the loser into backoff/retry. Any abort — lock
+// conflict, crash, vote-no, timeout — leaves the record in the queue; the
+// runtime retries after a backoff, possibly routing to an alternative
+// node, which is exactly the restartability the paper's correctness
+// argument relies on. A crash bumps the node's epoch, invalidating every
+// in-flight slot at once; recovery re-offers all queued records.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "agent/agent.h"
 #include "agent/platform.h"
@@ -62,12 +70,18 @@ class NodeRuntime {
   void on_node_state(bool up);
   /// Non-transactional initial placement of a freshly launched agent.
   void enqueue_initial(storage::QueueRecord record);
-  /// Try to start processing the next queue record.
+  /// Fill free execution slots with eligible queue records.
   void pump();
 
  private:
   // --- queue processing ------------------------------------------------------
-  void process_front();
+  void process_record(std::uint64_t record_id);
+  /// Return a slot: drop the record's claim and its agent's exclusion
+  /// mark. Called on every path that stops working on a record, whether
+  /// it committed (the record is gone) or aborted (it stays queued).
+  void release_slot(const storage::QueueRecord& rec);
+  /// Processing attempts so far, without creating an entry.
+  [[nodiscard]] std::uint32_t attempt_count(std::uint64_t record_id) const;
   void execute_step(const storage::QueueRecord& rec);
   void execute_compensation(const storage::QueueRecord& rec);
   /// Route a freshly spawned child to its first step's node (multi-agent
@@ -181,9 +195,15 @@ class NodeRuntime {
   tx::TxManager txm_;
 
   bool up_ = true;
-  bool busy_ = false;
   std::uint64_t epoch_ = 0;
+  /// In-flight execution slots (claimed record ids). Capped at
+  /// PlatformConfig::node_concurrency; cleared wholesale on crash.
+  std::unordered_set<std::uint64_t> slots_;
+  /// Agents with an in-flight record (per-agent exclusion: at most one
+  /// slot works on a given agent at any time).
+  std::unordered_set<AgentId> busy_agents_;
   /// Per-record processing attempts (drives backoff + alternative nodes).
+  /// Entries are erased when the record commits or the agent terminates.
   std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
   /// Continuations waiting for agent.stage_ack / rce.ack, keyed by tx.
   std::unordered_map<TxId, std::function<void(bool)>> stage_waiters_;

@@ -1,5 +1,7 @@
 #include "agent/platform.h"
 
+#include <algorithm>
+
 #include "agent/node_runtime.h"
 #include "util/check.h"
 
@@ -183,6 +185,13 @@ bool Platform::finished(AgentId id) const {
 
 bool Platform::run_until_finished(AgentId id) {
   return sim_.run_while_pending([this, id] { return finished(id); });
+}
+
+bool Platform::run_until_all_finished(std::span<const AgentId> ids) {
+  return sim_.run_while_pending([this, ids] {
+    return std::all_of(ids.begin(), ids.end(),
+                       [this](AgentId id) { return finished(id); });
+  });
 }
 
 std::unique_ptr<Agent> Platform::decode(

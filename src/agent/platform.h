@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -52,6 +53,15 @@ enum class LoggingMode { state, transition };
 struct PlatformConfig {
   RollbackStrategy strategy = RollbackStrategy::optimized;
   LoggingMode logging = LoggingMode::state;
+
+  /// Queue records a node processes concurrently (execution slots). The
+  /// exactly-once protocol already isolates concurrent steps through
+  /// transactions and resource locks, so raising this multiprograms a node:
+  /// slots claim records by id (per-agent exclusion, FIFO otherwise), lock
+  /// conflicts abort the loser's transaction into backoff/retry, and a
+  /// crash invalidates every in-flight slot at once. 1 reproduces the
+  /// classic one-record-at-a-time runtime bit-for-bit.
+  std::uint32_t node_concurrency = 1;
 
   /// Write savepoints automatically when entering sub-itineraries and
   /// garbage-collect / discard per Sec. 4.4.2.
@@ -137,6 +147,10 @@ class Platform {
   /// Drive the simulation until the agent finishes (or events drain).
   /// Returns true when the agent reached a terminal state.
   bool run_until_finished(AgentId id);
+  /// Drive the simulation until EVERY listed agent finishes (or events
+  /// drain). Returns true when all reached a terminal state. Multi-agent
+  /// benches use this instead of polling one id at a time.
+  bool run_until_all_finished(std::span<const AgentId> ids);
   /// Decode a captured agent (e.g. AgentOutcome::final_agent).
   [[nodiscard]] std::unique_ptr<Agent> decode(
       std::span<const std::uint8_t> bytes) const;
@@ -159,6 +173,11 @@ class Platform {
   /// the adaptive strategy (Sec. 4.4.1 "further optimizations"), reported
   /// by experiment A2.
   [[nodiscard]] std::uint64_t& mixed_ships() { return mixed_ships_; }
+  /// Step transactions aborted by a resource lock conflict — the cost of
+  /// node multiprogramming (node_concurrency > 1), reported by A4.
+  [[nodiscard]] std::uint64_t& lock_conflict_aborts() {
+    return lock_conflict_aborts_;
+  }
 
   // --- savepoint / itinerary integration (Sec. 4.4.2) -------------------------
   /// Append a savepoint entry (plus stack entry) to the agent's log,
@@ -190,6 +209,7 @@ class Platform {
   std::uint64_t next_record_ = 1;
   std::uint64_t rollback_transfers_ = 0;
   std::uint64_t mixed_ships_ = 0;
+  std::uint64_t lock_conflict_aborts_ = 0;
 };
 
 }  // namespace mar::agent

@@ -72,6 +72,12 @@ class StepContext {
   Result<serial::Value> invoke(const std::string& resource,
                                std::string_view op,
                                const serial::Value& params);
+  /// Account `ops` resource-operation service-time units to this step
+  /// WITHOUT touching any resource (pure local computation — no lock is
+  /// taken, so concurrent slots never conflict on it). The platform
+  /// charges resource_op_service_us per unit before the step commits;
+  /// contention-free throughput workloads (A4) are built from this.
+  void charge_service(std::uint32_t ops) { invokes_ += ops; }
 
   // --- compensation logging (Sec. 4.4.1 operation-entry types) ---------------
   /// Log a resource compensation entry: `comp_op` will run on THIS node

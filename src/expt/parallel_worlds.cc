@@ -1,0 +1,76 @@
+#include "expt/parallel_worlds.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mar::expt {
+
+unsigned effective_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+std::vector<std::uint64_t> replicate_seeds(std::uint64_t base,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  std::uint64_t x = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    // splitmix64 finalizer (Steele et al.): distinct states map to
+    // distinct, well-mixed outputs.
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    seeds.push_back(z ^ (z >> 31));
+  }
+  return seeds;
+}
+
+namespace detail {
+
+void run_indexed(std::size_t count,
+                 const std::function<void(std::size_t)>& job,
+                 unsigned threads) {
+  if (count == 0) return;
+  const auto workers = static_cast<unsigned>(std::min<std::size_t>(
+      effective_threads(threads), count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+  // Work-claiming pool: an atomic ticket counter hands out job indices,
+  // so an uneven mix of fast and slow worlds still load-balances. A
+  // throwing job must behave like it does sequentially: capture the first
+  // exception, stop claiming new jobs, rethrow after the join.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace mar::expt

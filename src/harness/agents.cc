@@ -94,6 +94,15 @@ void WorkloadAgent::run_step(const std::string& step,
 
   if (step == "noop") return;
 
+  // Contention-free unit of work: burns `work_ops` resource-op service
+  // times without taking any lock, so concurrent slots never conflict —
+  // the A4 throughput fleet is built from this.
+  if (step == "work") {
+    ctx.charge_service(static_cast<std::uint32_t>(
+        data().weak("trigger").get_or("work_ops", std::int64_t{1}).as_int()));
+    return;
+  }
+
   if (step == "collect") {
     auto r = ctx.invoke("dir", "lookup", params({{"key", Value("info")}}));
     if (r.is_ok()) {

@@ -72,6 +72,7 @@ bool StableStorage::remove(std::uint64_t record_id) {
   if (it == queue_.end()) return false;
   ++stats_.queue_ops;
   queue_.erase(it);
+  claimed_.erase(record_id);
   return true;
 }
 
@@ -84,5 +85,27 @@ bool StableStorage::contains_record(std::uint64_t record_id) const {
 const QueueRecord* StableStorage::front() const {
   return queue_.empty() ? nullptr : &queue_.front();
 }
+
+const QueueRecord* StableStorage::find_record(std::uint64_t record_id) const {
+  auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [record_id](const QueueRecord& r) { return r.record_id == record_id; });
+  return it == queue_.end() ? nullptr : &*it;
+}
+
+bool StableStorage::claim(std::uint64_t record_id) {
+  if (!contains_record(record_id)) return false;
+  return claimed_.insert(record_id).second;
+}
+
+void StableStorage::release_claim(std::uint64_t record_id) {
+  claimed_.erase(record_id);
+}
+
+bool StableStorage::claimed(std::uint64_t record_id) const {
+  return claimed_.contains(record_id);
+}
+
+void StableStorage::clear_claims() { claimed_.clear(); }
 
 }  // namespace mar::storage

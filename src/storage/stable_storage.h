@@ -87,12 +87,30 @@ class StableStorage {
   [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
   /// Oldest record, if any.
   [[nodiscard]] const QueueRecord* front() const;
+  /// Look up a queued record by id (claimed or not).
+  [[nodiscard]] const QueueRecord* find_record(std::uint64_t record_id) const;
+
+  // --- volatile claim marks (slotted scheduling) ---------------------------
+  // A node runtime claims a record while one of its execution slots works
+  // on it. Claims are runtime state, NOT durable: the record itself stays
+  // queued until its transaction commits, and a crash clears every claim so
+  // recovery re-offers all records — the restartability the protocols need.
+  /// Mark a record claimed. Returns false if absent or already claimed.
+  bool claim(std::uint64_t record_id);
+  /// Return a claimed record to the pool (abort / backoff path). Removing
+  /// a record also drops its claim, so terminal paths need no release.
+  void release_claim(std::uint64_t record_id);
+  [[nodiscard]] bool claimed(std::uint64_t record_id) const;
+  /// Crash: volatile claims evaporate with the node's runtime state.
+  void clear_claims();
 
   [[nodiscard]] const StorageStats& stats() const { return stats_; }
 
  private:
   std::map<std::string, serial::Bytes> kv_;
   std::deque<QueueRecord> queue_;
+  /// Volatile: record ids currently claimed by an execution slot.
+  std::unordered_set<std::uint64_t> claimed_;
   /// Ids ever enqueued; dedup must outlive removal so a duplicate commit
   /// of the same transfer cannot re-insert a consumed record.
   std::unordered_set<std::uint64_t> seen_records_;

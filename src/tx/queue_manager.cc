@@ -26,6 +26,24 @@ void QueueManager::stage_remove(TxId tx, std::uint64_t record_id) {
   staged_[tx].removes.push_back(record_id);
 }
 
+const storage::QueueRecord* QueueManager::next_eligible(
+    const std::unordered_set<AgentId>& busy_agents) const {
+  for (const auto& r : stable_.queue()) {
+    if (stable_.claimed(r.record_id)) continue;
+    if (busy_agents.contains(r.agent)) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+bool QueueManager::claim(std::uint64_t record_id) {
+  return stable_.claim(record_id);
+}
+
+void QueueManager::release(std::uint64_t record_id) {
+  stable_.release_claim(record_id);
+}
+
 bool QueueManager::has_tx(TxId tx) const { return staged_.contains(tx); }
 
 bool QueueManager::prepare(TxId tx) {

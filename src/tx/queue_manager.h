@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/stable_storage.h"
@@ -25,6 +26,21 @@ class QueueManager final : public Participant {
   void stage_enqueue(TxId tx, storage::QueueRecord record);
   /// Stage "remove this record from the local queue at commit".
   void stage_remove(TxId tx, std::uint64_t record_id);
+
+  // --- slotted scheduling (claims by record id) ---------------------------
+  // The node runtime no longer consumes the queue "front-first, one at a
+  // time": each execution slot claims a specific record by id, works on it
+  // inside its own transaction, and either commits (the staged remove
+  // consumes the record) or releases the claim so a later slot can retry.
+  // Claims are volatile — a crash clears them along with the slots.
+  /// First queued record that is unclaimed and whose agent has no other
+  /// record in flight, in queue (FIFO) order; null when none is eligible.
+  [[nodiscard]] const storage::QueueRecord* next_eligible(
+      const std::unordered_set<AgentId>& busy_agents) const;
+  /// Claim `record_id` for an execution slot. False if absent or taken.
+  bool claim(std::uint64_t record_id);
+  /// Return a claimed record to the pool (abort / backoff path).
+  void release(std::uint64_t record_id);
 
   // Participant interface.
   [[nodiscard]] std::string name() const override { return "queue"; }
