@@ -1,0 +1,232 @@
+// Experiment A5 — steady-state durability cost of long-lived agents.
+//
+// The paper's transition logging makes savepoints O(delta) (Sec. 4.2,
+// 4.4); the platform's incremental commit applies the same idea to the
+// step-commit path: when an agent's next step runs on the same node, only
+// the step's delta (appended log entries + dirty data slots) is appended
+// to its stable record instead of rewriting the full image.
+//
+// This bench ages agents to 8/32/128 prior logged steps, then measures
+//   * bytes written to stable storage per committed step, and
+//   * wall-clock steps/sec of the whole run (the simulation uses virtual
+//     time; serialization and storage work are the real-time cost),
+// for the full-image path (incremental_commit=false) vs delta commits,
+// across fleet sizes. Expected shape: full-image bytes/step grow linearly
+// with age; incremental bytes/step stay flat (within 10% from 8 to 128)
+// and steps/sec win at least 2x at age 128.
+//
+// The workload is `spend_logged`: one weak-slot mutation plus one padded
+// compensation entry per step, no resource access — so the only state
+// that grows with age is the rollback log itself.
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common.h"
+
+using namespace mar;
+using agent::AgentOutcome;
+using agent::Itinerary;
+using harness::TestWorld;
+
+namespace {
+
+constexpr std::int64_t kParamBytes = 128;
+
+struct RunResult {
+  bool ok = false;
+  std::uint64_t stable_bytes = 0;
+  double wall_sec = 0;
+};
+
+/// A fleet of `fleet` agents, each running `steps` spend_logged steps on
+/// one node. Deterministic in everything except wall time.
+RunResult run_fleet(int fleet, int steps, bool incremental) {
+  agent::PlatformConfig cfg;
+  cfg.incremental_commit = incremental;
+  // Measure the steady-state append cost: push the periodic full-image
+  // compaction (an orthogonal, amortized policy knob — default every 32
+  // deltas) out of the measured window so bytes/step reflects the delta
+  // path itself.
+  cfg.compaction_interval_steps = 4096;
+  cfg.discard_log_on_top_level = false;  // the aged log is the point
+  TestWorld w(cfg, /*node_count=*/1, /*seed=*/5);
+  harness::register_workload(w.platform);
+
+  std::vector<AgentId> ids;
+  ids.reserve(static_cast<std::size_t>(fleet));
+  for (int a = 0; a < fleet; ++a) {
+    auto ag = std::make_unique<harness::WorkloadAgent>();
+    Itinerary tour;
+    for (int s = 0; s < steps; ++s) {
+      tour.step("spend_logged", TestWorld::n(1));
+    }
+    Itinerary main_it;
+    main_it.sub(std::move(tour));
+    ag->itinerary() = std::move(main_it);
+    ag->set_config("param_bytes", kParamBytes);
+    auto r = w.platform.launch(std::move(ag));
+    MAR_CHECK(r.is_ok());
+    ids.push_back(r.value());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool finished = w.platform.run_until_all_finished(ids);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  res.stable_bytes = w.platform.node(TestWorld::n(1)).storage().stats()
+                         .bytes_written;
+  res.ok = finished;
+  for (const auto id : ids) {
+    const auto& out = w.platform.outcome(id);
+    res.ok = res.ok && out.state == AgentOutcome::State::done;
+    if (!res.ok) break;
+    auto fin = w.platform.decode(out.final_agent);
+    res.ok = res.ok && fin->data().weak("visits").as_int() == steps;
+  }
+  return res;
+}
+
+struct Cell {
+  bool ok = false;
+  int age = 0;
+  int fleet = 0;
+  bool incremental = false;
+  double bytes_per_step = 0;
+  double steps_per_sec = 0;
+  double wall_ms = 0;
+};
+
+/// Bytes/step in the steady state: the marginal stable-storage cost of
+/// the `measured` steps that follow `age` prior steps (two runs, diffed —
+/// both deterministic).
+Cell measure(int age, int fleet, int measured, bool incremental) {
+  const RunResult aged = run_fleet(fleet, age, incremental);
+  const RunResult total = run_fleet(fleet, age + measured, incremental);
+  Cell c;
+  c.ok = aged.ok && total.ok && total.stable_bytes > aged.stable_bytes;
+  c.age = age;
+  c.fleet = fleet;
+  c.incremental = incremental;
+  c.bytes_per_step =
+      static_cast<double>(total.stable_bytes - aged.stable_bytes) /
+      (static_cast<double>(fleet) * measured);
+  c.steps_per_sec = static_cast<double>(fleet) * (age + measured) /
+                    (total.wall_sec > 0 ? total.wall_sec : 1e-9);
+  c.wall_ms = total.wall_sec * 1e3;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  bench::BenchReport report("a5_steady_state");
+
+  // Reduced sweep for CI (wall-clock checks are relaxed there: CI boxes
+  // run the suite under contention).
+  const bool quick = std::getenv("MAR_BENCH_QUICK") != nullptr;
+  const std::vector<int> ages = quick ? std::vector<int>{8, 32}
+                                      : std::vector<int>{8, 32, 128};
+  const std::vector<int> fleets = quick ? std::vector<int>{1}
+                                        : std::vector<int>{1, 8};
+  const int measured = quick ? 16 : 32;
+  // Wall-clock gating is reserved for the full preset (baseline
+  // generation on a quiet machine): a contended CI runner can stall any
+  // timed run, so the quick preset reports the speedup without failing
+  // on it. The deterministic bytes/step shape checks always gate.
+  const bool gate_on_wall_clock = !quick;
+  const double required_speedup = 2.0;
+
+  std::cout << "=== A5: steady-state durability (delta vs full-image "
+               "commits) ===\n"
+            << "(bytes written to stable storage per step and wall-clock "
+               "steps/sec\n vs agent age = prior logged steps; "
+            << measured << " measured steps; param " << kParamBytes
+            << " B)\n\n";
+  std::cout << "mode  age  fleet  bytes/step  steps/sec  wall[ms]\n";
+  std::cout << "-------------------------------------------------\n";
+
+  bool shape_ok = true;
+  std::vector<Cell> cells;
+  for (const bool incremental : {false, true}) {
+    for (const int fleet : fleets) {
+      for (const int age : ages) {
+        const Cell c = measure(age, fleet, measured, incremental);
+        cells.push_back(c);
+        shape_ok = shape_ok && c.ok;
+        std::cout << (incremental ? "incr" : "full") << "  " << std::setw(3)
+                  << age << "  " << std::setw(5) << fleet << "  "
+                  << std::setw(10) << std::fixed << std::setprecision(1)
+                  << c.bytes_per_step << "  " << std::setw(9)
+                  << std::setprecision(0) << c.steps_per_sec << "  "
+                  << std::setw(8) << std::setprecision(2) << c.wall_ms
+                  << "\n";
+        report.row()
+            .set("mode", incremental ? "incremental" : "full")
+            .set("age", age)
+            .set("fleet", fleet)
+            .set("measured_steps", measured)
+            .set("bytes_per_step", c.bytes_per_step)
+            .set("steps_per_sec", c.steps_per_sec)
+            .set("wall_ms", c.wall_ms)
+            .set("ok", c.ok);
+      }
+    }
+  }
+
+  auto cell_of = [&cells](int age, int fleet, bool incr) -> const Cell& {
+    for (const auto& c : cells) {
+      if (c.age == age && c.fleet == fleet && c.incremental == incr) {
+        return c;
+      }
+    }
+    MAR_CHECK_MSG(false, "missing sweep cell");
+    return cells.front();
+  };
+
+  // Shape checks. Full-image bytes/step must grow with age (that is the
+  // problem); incremental bytes/step must stay flat within 10% from the
+  // youngest to the oldest age; and at the oldest age the incremental
+  // path must deliver the wall-clock win.
+  const int oldest = ages.back();
+  std::cout << "\n";
+  for (const int fleet : fleets) {
+    const auto& full_young = cell_of(ages.front(), fleet, false);
+    const auto& full_old = cell_of(oldest, fleet, false);
+    const auto& incr_young = cell_of(ages.front(), fleet, true);
+    const auto& incr_old = cell_of(oldest, fleet, true);
+    const bool grows = full_old.bytes_per_step > 1.5 * full_young.bytes_per_step;
+    const bool flat =
+        incr_old.bytes_per_step <= 1.10 * incr_young.bytes_per_step;
+    const double speedup = incr_old.steps_per_sec / full_old.steps_per_sec;
+    const bool fast = !gate_on_wall_clock || speedup >= required_speedup;
+    std::cout << "fleet " << fleet << ": full grows "
+              << std::setprecision(2)
+              << full_old.bytes_per_step / full_young.bytes_per_step
+              << "x, incr flat "
+              << incr_old.bytes_per_step / incr_young.bytes_per_step
+              << "x, speedup@" << oldest << " " << speedup << "x -> "
+              << ((grows && flat && fast) ? "OK" : "MISMATCH") << "\n";
+    shape_ok = shape_ok && grows && flat && fast;
+    report.row()
+        .set("phase", "check")
+        .set("fleet", fleet)
+        .set("oldest_age", oldest)
+        .set("full_growth", full_old.bytes_per_step / full_young.bytes_per_step)
+        .set("incr_flatness",
+             incr_old.bytes_per_step / incr_young.bytes_per_step)
+        .set("speedup", speedup)
+        .set("required_speedup", gate_on_wall_clock ? required_speedup : 0.0);
+  }
+
+  std::cout << (shape_ok ? "\nshape check: OK\n" : "\nshape check: FAILED\n");
+  report.set_ok(shape_ok);
+  if (!json_path.empty() && !report.write_file(json_path)) return 2;
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_results.json against a committed baseline.
+
+Usage: bench/bench_diff.py BASELINE FRESH
+
+Prints per-metric deltas for every bench row shared by both files and
+fails (exit 1) when the fresh run is unhealthy:
+  * any bench report carries "ok": false, or
+  * any individual row carries "ok": false, or
+  * a bench present in the baseline is missing from the fresh run.
+
+Numeric drift never fails the diff: several benches measure wall-clock
+time, which legitimately varies between machines and runs. The deltas are
+printed so a human (or a perf-trajectory tool) can judge them.
+"""
+import json
+import sys
+
+
+def flatten_rows(report):
+    rows = report.get("rows", [])
+    return rows if isinstance(rows, list) else []
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+# Integer fields that identify a row rather than measure something (sweep
+# parameters). Everything non-numeric (mode strings, phase tags, bools)
+# is identity too.
+ID_FIELDS = {
+    "age", "fleet", "steps", "measured_steps", "node_concurrency",
+    "param_bytes", "seed", "seed_index", "oldest_age",
+}
+
+
+def row_key(row):
+    """Identity of a sweep row: its parameters, not its measurements."""
+    parts = []
+    for k in sorted(row):
+        v = row[k]
+        if k in ID_FIELDS or not is_number(v):
+            parts.append(f"{k}={v}")
+    return ", ".join(parts)
+
+
+def diff_rows(bench, baseline_rows, fresh_rows):
+    # Rows are matched by identity key (sweep parameters), so a reduced
+    # preset diffs cleanly against a full-preset baseline: shared cells
+    # are compared, missing cells are noted, never compared cross-cell.
+    lines = []
+    baseline_by_key = {}
+    for row in baseline_rows:
+        if isinstance(row, dict):
+            baseline_by_key.setdefault(row_key(row), []).append(row)
+    matched = 0
+    for new in fresh_rows:
+        if not isinstance(new, dict):
+            continue
+        key = row_key(new)
+        candidates = baseline_by_key.get(key)
+        if not candidates:
+            lines.append(f"  [{key}]: new row (no baseline cell)")
+            continue
+        old = candidates.pop(0)
+        matched += 1
+        for field in old:
+            if field not in new or not (
+                is_number(old[field]) and is_number(new[field])
+            ):
+                continue
+            a, b = old[field], new[field]
+            if a == b or field in ID_FIELDS:
+                continue
+            pct = f" ({(b - a) / a * 100.0:+.1f}%)" if a else ""
+            lines.append(f"  [{key}].{field}: {a} -> {b}{pct}")
+    skipped = sum(len(v) for v in baseline_by_key.values())
+    if skipped:
+        lines.append(
+            f"  {skipped} baseline cell(s) not in this run "
+            "(reduced preset), skipped"
+        )
+    return lines
+
+
+def health_failures(name, report):
+    failures = []
+    if report.get("ok") is False:
+        failures.append(f"{name}: report ok=false")
+    for i, row in enumerate(flatten_rows(report)):
+        if isinstance(row, dict) and row.get("ok") is False:
+            failures.append(f"{name}: row[{i}] ok=false")
+    return failures
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    failures = []
+    for name in baseline:
+        if name not in fresh:
+            # micro_codec is allowed to be absent (optional dependency).
+            if "micro_codec" in name:
+                print(f"{name}: absent from fresh run (optional), skipping")
+                continue
+            failures.append(f"{name}: present in baseline, missing from fresh run")
+
+    for name, report in fresh.items():
+        if not isinstance(report, dict):
+            continue
+        failures.extend(health_failures(name, report))
+        if name not in baseline or not isinstance(baseline[name], dict):
+            print(f"{name}: new bench (no baseline)")
+            continue
+        lines = diff_rows(name, flatten_rows(baseline[name]), flatten_rows(report))
+        if lines:
+            print(f"{name}:")
+            print("\n".join(lines))
+        else:
+            print(f"{name}: no metric changes")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nbench_diff: healthy")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -55,6 +55,70 @@ void BM_DecodeAgent(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeAgent)->Arg(4)->Arg(64)->Arg(1024);
 
+// The size-hint encode path: computing the exact wire size arithmetically
+// and pre-sizing the buffer turns a large-map encode into one allocation.
+serial::Value make_large_map(std::int64_t keys) {
+  serial::Value v = serial::Value::empty_map();
+  for (std::int64_t i = 0; i < keys; ++i) {
+    v.set("key-" + std::to_string(i), std::string(48, 'v'));
+  }
+  return v;
+}
+
+serial::Value make_deep_nesting(std::int64_t depth) {
+  serial::Value v("leaf");
+  for (std::int64_t i = 0; i < depth; ++i) {
+    serial::Value wrap = serial::Value::empty_map();
+    wrap.set("child", std::move(v));
+    wrap.set("tag", i);
+    v = std::move(wrap);
+  }
+  return v;
+}
+
+void BM_EncodeLargeMapDefault(benchmark::State& state) {
+  const auto v = make_large_map(state.range(0));
+  for (auto _ : state) {
+    serial::Encoder enc;
+    v.serialize(enc);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(v.encoded_size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_EncodeLargeMapDefault)->Arg(256)->Arg(4096)->Arg(32768);
+
+void BM_EncodeLargeMapPresized(benchmark::State& state) {
+  const auto v = make_large_map(state.range(0));
+  for (auto _ : state) {
+    serial::Encoder enc(v.encoded_size());
+    v.serialize(enc);
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(v.encoded_size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_EncodeLargeMapPresized)->Arg(256)->Arg(4096)->Arg(32768);
+
+void BM_EncodeDeepNestingPresized(benchmark::State& state) {
+  const auto v = make_deep_nesting(state.range(0));
+  for (auto _ : state) {
+    serial::Encoder enc(v.encoded_size());
+    v.serialize(enc);
+    benchmark::DoNotOptimize(enc);
+  }
+}
+BENCHMARK(BM_EncodeDeepNestingPresized)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ValueEncodedSize(benchmark::State& state) {
+  const auto v = make_large_map(state.range(0));
+  for (auto _ : state) {
+    auto n = v.encoded_size();
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ValueEncodedSize)->Arg(256)->Arg(4096);
+
 void BM_ValueDiffSparse(benchmark::State& state) {
   serial::Value a = serial::Value::empty_map();
   for (int i = 0; i < state.range(0); ++i) {

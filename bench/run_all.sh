@@ -28,6 +28,7 @@ BENCHES=(
   bench_e3_concurrency
   bench_e6_fault_recovery
   bench_a4_throughput
+  bench_a5_steady_state
   bench_micro_codec
 )
 

@@ -64,11 +64,29 @@ void Agent::deserialize(serial::Decoder& dec) {
   force_full_sp_ = dec.read_bool();
   last_sp_strong_.deserialize(dec);
   log_.deserialize(dec);
+  mark_commit_baseline();  // the decoded state IS the durable state
+}
+
+std::size_t Agent::serialized_size() const {
+  std::size_t n = 8 + 1;  // id, run_state
+  n += data_.encoded_size();
+  n += itinerary_.encoded_size();
+  n += serial::varint_size(position_.size()) + 4 * position_.size();
+  n += serial::varint_size(sp_stack_.size()) +
+       sp_stack_.size() * SavepointStackEntry::byte_size();
+  n += 4 + 4 + 8 + 4;  // next_sp, rollbacks, parent, result_node
+  n += serial::blob_size(result_key_.size());
+  n += 1 + 1;  // retain_full_log, force_full_sp
+  n += last_sp_strong_.encoded_size();
+  n += log_.byte_size();
+  return n;
 }
 
 serial::Bytes encode_agent(const Agent& agent) {
-  serial::Encoder enc;
-  enc.write_string(agent.type_name());
+  const auto type = agent.type_name();
+  serial::Encoder enc(serial::blob_size(type.size()) +
+                      agent.serialized_size());
+  enc.write_string(type);
   agent.serialize(enc);
   return std::move(enc).take();
 }
@@ -76,15 +94,152 @@ serial::Bytes encode_agent(const Agent& agent) {
 std::unique_ptr<Agent> decode_agent(const AgentTypeRegistry& registry,
                                     std::span<const std::uint8_t> bytes) {
   serial::Decoder dec(bytes);
-  const auto type = dec.read_string();
+  const auto type = dec.read_string_view();
   // Wire input is untrusted: an unknown type is a malformed buffer, not
   // a programming error.
   if (!registry.contains(type)) {
-    throw serial::DecodeError("unknown agent type: " + type);
+    throw serial::DecodeError("unknown agent type: " + std::string(type));
   }
   auto agent = registry.create(type);
   agent->deserialize(dec);
   dec.expect_end();
+  return agent;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental capture
+// ---------------------------------------------------------------------------
+//
+// Delta record wire format (version-free; a delta is only ever decoded
+// against the base image it was produced from, inside one storage record):
+//
+//   u8      run_state
+//   varint  |position| + u32 each
+//   varint  |sp_stack| + entries          (small; carried whole)
+//   u32     next_sp
+//   u32     rollbacks_completed
+//   u64     parent
+//   u32     result_node
+//   string  result_key
+//   bool    retain_full_log
+//   bool    force_full_sp
+//   bool    last_sp_strong changed        [+ Value when set]
+//   u8      strong section: 0 = sparse slots, 1 = full map
+//           sparse: varint n + (string name, Value) each; full: Value
+//   u8      weak section: same encoding
+//   varint  appended log entries + LogEntry each
+
+namespace {
+constexpr std::uint8_t kSparseSlots = 0;
+constexpr std::uint8_t kFullMap = 1;
+
+void encode_data_section(serial::Encoder& enc, const serial::Value& map,
+                         const std::set<std::string>& dirty, bool all_dirty) {
+  if (all_dirty) {
+    enc.write_u8(kFullMap);
+    map.serialize(enc);
+    return;
+  }
+  enc.write_u8(kSparseSlots);
+  enc.write_varint(dirty.size());
+  for (const auto& name : dirty) {
+    enc.write_string(name);
+    // Top-level slots are never removed outside whole-map replacement
+    // (which takes the full-map branch), so every dirty name resolves.
+    map.at(name).serialize(enc);
+  }
+}
+}  // namespace
+
+serial::Bytes encode_agent_delta(const Agent& agent) {
+  MAR_CHECK_MSG(agent.delta_ready(),
+                "agent changes are not append-only; a full image is due");
+  serial::Encoder enc;
+  enc.write_u8(static_cast<std::uint8_t>(agent.run_state_));
+  enc.write_varint(agent.position_.size());
+  for (const auto i : agent.position_) enc.write_u32(i);
+  enc.write_varint(agent.sp_stack_.size());
+  for (const auto& e : agent.sp_stack_) e.serialize(enc);
+  enc.write_u32(agent.next_sp_);
+  enc.write_u32(agent.rollbacks_completed_);
+  enc.write_u64(agent.parent_.value());
+  enc.write_u32(agent.result_node_.value());
+  enc.write_string(agent.result_key_);
+  enc.write_bool(agent.retain_full_log_);
+  enc.write_bool(agent.force_full_sp_);
+  enc.write_bool(agent.last_sp_dirty_);
+  if (agent.last_sp_dirty_) agent.last_sp_strong_.serialize(enc);
+  const auto& data = agent.data_;
+  encode_data_section(enc, data.strong_image(), data.dirty_strong(),
+                      data.strong_all_dirty());
+  encode_data_section(enc, data.weak_image(), data.dirty_weak(),
+                      data.weak_all_dirty());
+  const auto appended = agent.log_.appended_entries();
+  enc.write_varint(appended.size());
+  for (const auto& e : appended) e.serialize(enc);
+  return std::move(enc).take();
+}
+
+void apply_agent_delta(Agent& agent, std::span<const std::uint8_t> delta) {
+  serial::Decoder dec(delta);
+  agent.run_state_ = static_cast<Agent::RunState>(dec.read_u8());
+  agent.position_.resize(dec.read_count());
+  for (auto& i : agent.position_) i = dec.read_u32();
+  agent.sp_stack_.resize(dec.read_count());
+  for (auto& e : agent.sp_stack_) e.deserialize(dec);
+  agent.next_sp_ = dec.read_u32();
+  agent.rollbacks_completed_ = dec.read_u32();
+  agent.parent_ = AgentId(dec.read_u64());
+  agent.result_node_ = NodeId(dec.read_u32());
+  agent.result_key_ = dec.read_string();
+  agent.retain_full_log_ = dec.read_bool();
+  agent.force_full_sp_ = dec.read_bool();
+  if (dec.read_bool()) agent.last_sp_strong_.deserialize(dec);
+  for (const bool strong : {true, false}) {
+    const auto mode = dec.read_u8();
+    if (mode == kFullMap) {
+      Value map;
+      map.deserialize(dec);
+      if (strong) {
+        agent.data_.restore_strong(std::move(map));
+      } else {
+        agent.data_.replace_weak(std::move(map));
+      }
+      continue;
+    }
+    if (mode != kSparseSlots) {
+      throw serial::DecodeError("bad delta data-section mode");
+    }
+    const auto n = dec.read_count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      auto name = dec.read_string();
+      Value v;
+      v.deserialize(dec);
+      if (strong) {
+        agent.data_.set_strong_slot(name, std::move(v));
+      } else {
+        agent.data_.set_weak_slot(name, std::move(v));
+      }
+    }
+  }
+  const auto appended = dec.read_count();
+  for (std::uint64_t i = 0; i < appended; ++i) {
+    rollback::LogEntry e;
+    e.deserialize(dec);
+    agent.log_.push(std::move(e));
+  }
+  dec.expect_end();
+  agent.mark_commit_baseline();  // now bit-identical to the durable state
+}
+
+std::unique_ptr<Agent> decode_agent_segments(
+    const AgentTypeRegistry& registry,
+    const std::vector<serial::Bytes>& segments) {
+  MAR_CHECK_MSG(!segments.empty(), "agent record has no base segment");
+  auto agent = decode_agent(registry, segments.front());
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    apply_agent_delta(*agent, segments[i]);
+  }
   return agent;
 }
 

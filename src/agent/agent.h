@@ -36,6 +36,7 @@ struct SavepointStackEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] static constexpr std::size_t byte_size() { return 4 + 1 + 4; }
 };
 
 class Agent : public serial::Serializable {
@@ -122,13 +123,36 @@ class Agent : public serial::Serializable {
   [[nodiscard]] const Value& last_savepoint_strong() const {
     return last_sp_strong_;
   }
-  void set_last_savepoint_strong(Value v) { last_sp_strong_ = std::move(v); }
+  void set_last_savepoint_strong(Value v) {
+    last_sp_strong_ = std::move(v);
+    last_sp_dirty_ = true;
+  }
   [[nodiscard]] bool force_full_savepoint() const { return force_full_sp_; }
   void set_force_full_savepoint(bool f) { force_full_sp_ = f; }
+
+  // --- incremental commit (delta savepoints) ---------------------------------
+  /// Whether the changes since the last baseline are expressible as an
+  /// append-only delta: the rollback log saw only pushes. (Dirty data
+  /// slots degrade the delta's data section to a full map, never the
+  /// delta itself.)
+  [[nodiscard]] bool delta_ready() const { return log_.append_clean(); }
+  /// Start a fresh change-tracking window. Called after decode and after
+  /// every durable commit of this in-memory instance, so deltas always
+  /// describe "changes since the durable image".
+  void mark_commit_baseline() {
+    data_.clear_dirty();
+    log_.mark_baseline();
+    last_sp_dirty_ = false;
+  }
+  [[nodiscard]] bool last_savepoint_strong_dirty() const {
+    return last_sp_dirty_;
+  }
 
   // --- capture / re-instantiation -------------------------------------------
   void serialize(serial::Encoder& enc) const final;
   void deserialize(serial::Decoder& dec) final;
+  /// Exact wire size of serialize() (pre-sizing full images).
+  [[nodiscard]] std::size_t serialized_size() const;
 
  private:
   AgentId id_;
@@ -146,15 +170,44 @@ class Agent : public serial::Serializable {
   bool force_full_sp_ = false;
   Value last_sp_strong_;
   rollback::RollbackLog log_;
+  /// Runtime-only: last_sp_strong_ changed since the baseline.
+  bool last_sp_dirty_ = false;
+
+  friend serial::Bytes encode_agent_delta(const Agent& agent);
+  friend void apply_agent_delta(Agent& agent,
+                                std::span<const std::uint8_t> delta);
 };
 
 /// Registry of agent types shared by all nodes (code availability).
 using AgentTypeRegistry = serial::TypeRegistry<Agent>;
 
-/// Capture an agent: type name + full state.
+/// Capture an agent: type name + full state. Single allocation: the
+/// buffer is pre-sized from the agent's exact serialized size.
 [[nodiscard]] serial::Bytes encode_agent(const Agent& agent);
 /// Re-instantiate an agent from captured bytes via the registry.
 [[nodiscard]] std::unique_ptr<Agent> decode_agent(
     const AgentTypeRegistry& registry, std::span<const std::uint8_t> bytes);
+
+// --- incremental capture (delta savepoint commits) -------------------------
+// A long-lived agent's durable image is a BASE full image plus a chain of
+// per-step DELTAS (Sec. 4.2's transition logging applied to the commit
+// path itself): each delta carries the step's appended log entries, the
+// dirty data-space slots and the small platform fields. Reconstructing
+// base + deltas yields an agent bit-identical to a full capture.
+//
+// Preconditions: encode_agent_delta requires agent.delta_ready() — the
+// log saw only appends since the last mark_commit_baseline(). The
+// itinerary is immutable after launch and therefore lives only in the
+// base image.
+
+/// Capture the changes since the last baseline as a delta record.
+[[nodiscard]] serial::Bytes encode_agent_delta(const Agent& agent);
+/// Apply a delta produced by encode_agent_delta to the predecessor state.
+void apply_agent_delta(Agent& agent, std::span<const std::uint8_t> delta);
+/// Reconstruct an agent from its stable record: segments[0] is a full
+/// image (encode_agent format), the rest are deltas, oldest first.
+[[nodiscard]] std::unique_ptr<Agent> decode_agent_segments(
+    const AgentTypeRegistry& registry,
+    const std::vector<serial::Bytes>& segments);
 
 }  // namespace mar::agent

@@ -7,13 +7,19 @@ namespace mar::agent {
 void DataSpace::declare_strong(std::string_view name, Value initial) {
   MAR_CHECK_MSG(!weak_.has(name),
                 "slot already declared weak: " << name);
-  if (!strong_.has(name)) strong_.set(name, std::move(initial));
+  if (!strong_.has(name)) {
+    strong_.set(name, std::move(initial));
+    dirty_strong_.insert(std::string(name));
+  }
 }
 
 void DataSpace::declare_weak(std::string_view name, Value initial) {
   MAR_CHECK_MSG(!strong_.has(name),
                 "slot already declared strong: " << name);
-  if (!weak_.has(name)) weak_.set(name, std::move(initial));
+  if (!weak_.has(name)) {
+    weak_.set(name, std::move(initial));
+    dirty_weak_.insert(std::string(name));
+  }
 }
 
 bool DataSpace::has_strong(std::string_view name) const {
@@ -30,6 +36,7 @@ Value& DataSpace::strong(std::string_view name) {
                 "compensation (slot '"
                     << name << "')");
   MAR_CHECK_MSG(strong_.has(name), "unknown strong slot: " << name);
+  dirty_strong_.insert(std::string(name));
   return strong_.as_map().find(std::string(name))->second;
 }
 
@@ -43,6 +50,7 @@ const Value& DataSpace::strong(std::string_view name) const {
 
 Value& DataSpace::weak(std::string_view name) {
   MAR_CHECK_MSG(weak_.has(name), "unknown weak slot: " << name);
+  dirty_weak_.insert(std::string(name));
   return weak_.as_map().find(std::string(name))->second;
 }
 
@@ -50,7 +58,32 @@ const Value& DataSpace::weak(std::string_view name) const {
   return weak_.at(name);
 }
 
-void DataSpace::restore_strong(Value image) { strong_ = std::move(image); }
+void DataSpace::restore_strong(Value image) {
+  strong_ = std::move(image);
+  strong_all_dirty_ = true;
+}
+
+void DataSpace::set_strong_slot(const std::string& name, Value v) {
+  strong_.set(name, std::move(v));
+  dirty_strong_.insert(name);
+}
+
+void DataSpace::set_weak_slot(const std::string& name, Value v) {
+  weak_.set(name, std::move(v));
+  dirty_weak_.insert(name);
+}
+
+void DataSpace::replace_weak(Value map) {
+  weak_ = std::move(map);
+  weak_all_dirty_ = true;
+}
+
+void DataSpace::clear_dirty() {
+  dirty_strong_.clear();
+  dirty_weak_.clear();
+  strong_all_dirty_ = false;
+  weak_all_dirty_ = false;
+}
 
 void DataSpace::serialize(serial::Encoder& enc) const {
   strong_.serialize(enc);
@@ -60,6 +93,7 @@ void DataSpace::serialize(serial::Encoder& enc) const {
 void DataSpace::deserialize(serial::Decoder& dec) {
   strong_.deserialize(dec);
   weak_.deserialize(dec);
+  clear_dirty();
 }
 
 }  // namespace mar::agent

@@ -14,6 +14,8 @@
 // never get a reference to the strong map — this is defense in depth.)
 #pragma once
 
+#include <set>
+#include <string>
 #include <string_view>
 
 #include "serial/serializable.h"
@@ -47,20 +49,60 @@ class DataSpace {
   /// Restore all strong slots from a savepoint image.
   void restore_strong(Value image);
 
-  /// The whole weak-slot map; handed to compensating operations.
-  [[nodiscard]] Value* weak_slots() { return &weak_; }
+  // --- incremental-commit apply ------------------------------------------
+  // Overwrite one top-level slot (creating it if needed) or a whole side
+  // when replaying a delta record; skips the declare_* exclusivity checks
+  // because the delta was produced from a state that already passed them.
+  void set_strong_slot(const std::string& name, Value v);
+  void set_weak_slot(const std::string& name, Value v);
+  void replace_weak(Value map);
+
+  /// The whole weak-slot map; handed to compensating operations. The
+  /// caller can mutate arbitrary slots through the pointer, so tracking
+  /// degrades to all-dirty (compensation is a full-image path anyway).
+  [[nodiscard]] Value* weak_slots() {
+    weak_all_dirty_ = true;
+    return &weak_;
+  }
   [[nodiscard]] const Value& weak_image() const { return weak_; }
 
   void set_mode(Mode mode) { mode_ = mode; }
   [[nodiscard]] Mode mode() const { return mode_; }
 
+  // --- dirty-slot tracking (incremental commit) --------------------------
+  // The data space remembers which top-level slots were handed out mutably
+  // since the last clear_dirty(), so a step's changed state is enumerable
+  // without a full-tree diff. Tracking is conservative: a slot accessed
+  // through the non-const accessors counts as dirty even if only read, and
+  // whole-map operations (restore_strong, weak_slots) mark everything
+  // dirty. Over-approximation only costs delta bytes, never correctness.
+  [[nodiscard]] const std::set<std::string>& dirty_strong() const {
+    return dirty_strong_;
+  }
+  [[nodiscard]] const std::set<std::string>& dirty_weak() const {
+    return dirty_weak_;
+  }
+  /// Whole-map invalidation: a delta must carry the full strong/weak map.
+  [[nodiscard]] bool strong_all_dirty() const { return strong_all_dirty_; }
+  [[nodiscard]] bool weak_all_dirty() const { return weak_all_dirty_; }
+  /// Start a fresh tracking window (after a durable commit or decode).
+  void clear_dirty();
+
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const {
+    return strong_.encoded_size() + weak_.encoded_size();
+  }
 
  private:
   Value strong_ = Value::empty_map();
   Value weak_ = Value::empty_map();
   Mode mode_ = Mode::normal;  // runtime-only; not serialized
+  // Runtime-only change tracking; not serialized.
+  std::set<std::string> dirty_strong_;
+  std::set<std::string> dirty_weak_;
+  bool strong_all_dirty_ = false;
+  bool weak_all_dirty_ = false;
 };
 
 }  // namespace mar::agent

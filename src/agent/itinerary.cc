@@ -43,6 +43,10 @@ void Condition::deserialize(serial::Decoder& dec) {
   literal.deserialize(dec);
 }
 
+std::size_t Condition::encoded_size() const {
+  return serial::blob_size(slot.size()) + 1 + literal.encoded_size();
+}
+
 std::string Condition::to_string() const {
   static constexpr const char* kOps[] = {"?",  "!?", "==", "!=",
                                          "<",  "<=", ">",  ">="};
@@ -72,6 +76,12 @@ void StepEntry::deserialize(serial::Decoder& dec) {
   } else {
     when.reset();
   }
+}
+
+std::size_t StepEntry::encoded_size() const {
+  return serial::blob_size(method.size()) +
+         serial::varint_size(locations.size()) + 4 * locations.size() + 1 +
+         (when.has_value() ? when->encoded_size() : 0);
 }
 
 void Itinerary::Entry::serialize(serial::Encoder& enc) const {
@@ -188,9 +198,28 @@ Status Itinerary::validate_main() const {
   return Status::ok();
 }
 
+std::size_t Itinerary::Entry::encoded_size() const {
+  std::size_t n = 1;  // kind tag
+  if (is_step()) {
+    n += step().encoded_size();
+  } else if (is_sub()) {
+    n += 1 + sub().encoded_size();
+  } else {
+    n += 1 + serial::varint_size(alt().options.size());
+    for (const auto& option : alt().options) n += option.encoded_size();
+  }
+  return n;
+}
+
 void Itinerary::serialize(serial::Encoder& enc) const {
   enc.write_varint(entries_.size());
   for (const auto& e : entries_) e.serialize(enc);
+}
+
+std::size_t Itinerary::encoded_size() const {
+  std::size_t n = serial::varint_size(entries_.size());
+  for (const auto& e : entries_) n += e.encoded_size();
+  return n;
 }
 
 void Itinerary::deserialize(serial::Decoder& dec) {

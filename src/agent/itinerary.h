@@ -67,6 +67,7 @@ struct Condition {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const;
   [[nodiscard]] std::string to_string() const;
 };
 
@@ -84,6 +85,7 @@ struct StepEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const;
 };
 
 class Itinerary {
@@ -122,6 +124,8 @@ class Itinerary {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  /// Exact wire size of serialize() (pre-sizing full agent images).
+  [[nodiscard]] std::size_t encoded_size() const;
 
   // --- navigation ------------------------------------------------------------
   /// Position of the first step in DFS order, if any. Alternatives open
@@ -219,6 +223,7 @@ class Itinerary::Entry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t encoded_size() const;
 
  private:
   std::variant<StepEntry, Itinerary, AltEntry> body_;

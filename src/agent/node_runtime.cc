@@ -31,6 +31,64 @@ std::unique_ptr<Agent> NodeRuntime::decode(const serial::Bytes& bytes) const {
   return decode_agent(p_.agent_types(), bytes);
 }
 
+std::shared_ptr<Agent> NodeRuntime::load_committed_agent(
+    const storage::QueueRecord& rec) const {
+  if (!rec.payload.empty()) return decode(rec.payload);
+  const auto* segments = storage_.record_segments(agent_image_key(rec.agent));
+  MAR_CHECK_MSG(segments != nullptr,
+                "incremental record has no stable agent image");
+  return decode_agent_segments(p_.agent_types(), *segments);
+}
+
+std::shared_ptr<Agent> NodeRuntime::load_agent_for_step(
+    const storage::QueueRecord& rec) {
+  if (rec.payload.empty()) {
+    auto it = resident_.find(rec.agent);
+    if (it != resident_.end()) return it->second;
+  }
+  return load_committed_agent(rec);
+}
+
+std::size_t NodeRuntime::committed_agent_bytes(
+    const storage::QueueRecord& rec) const {
+  if (!rec.payload.empty()) return rec.payload.size();
+  const auto* segments = storage_.record_segments(agent_image_key(rec.agent));
+  if (segments == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& s : *segments) n += s.size();
+  return n;
+}
+
+storage::QueueRecord NodeRuntime::stage_incremental_image(
+    TxId tx, const Agent& agent, const storage::QueueRecord& prev) {
+  const auto key = agent_image_key(agent.id());
+  const auto interval =
+      std::max<std::uint32_t>(1, p_.config().compaction_interval_steps);
+  if (!agent.delta_ready()) {
+    // The log saw pops / GC / discard this step: not expressible as an
+    // append. Rewrite the base (which also resets the delta chain).
+    qm_.stage_record_reset(tx, key, encode_agent(agent));
+  } else if (!prev.payload.empty()) {
+    // First local commit after arrival: the consumed record's payload is
+    // exactly the pre-step image — establish it as the base and append
+    // this step's delta, all within the step transaction.
+    qm_.stage_record_reset(tx, key, prev.payload);
+    qm_.stage_record_append(tx, key, encode_agent_delta(agent));
+  } else if (storage_.record_segment_count(key) >= interval + 1) {
+    // Periodic compaction: fold the chain back into one full image.
+    qm_.stage_record_reset(tx, key, encode_agent(agent));
+  } else {
+    qm_.stage_record_append(tx, key, encode_agent_delta(agent));
+  }
+  storage::QueueRecord rec;
+  rec.record_id = p_.next_record_id();
+  rec.agent = agent.id();
+  rec.kind = RecordKind::execute;
+  rec.rollback_target = SavepointId::invalid();
+  // payload stays empty: the record area holds the durable image.
+  return rec;
+}
+
 QueueRecord NodeRuntime::make_record(const Agent& agent, RecordKind kind,
                                      SavepointId rollback_target) {
   QueueRecord rec;
@@ -138,7 +196,7 @@ void NodeRuntime::execute_launch(const QueueRecord& rec) {
 }
 
 void NodeRuntime::execute_cancel(const QueueRecord& rec) {
-  std::shared_ptr<Agent> agent = decode(rec.payload);
+  std::shared_ptr<Agent> agent = load_committed_agent(rec);
   const auto target = agent->log().first_savepoint();
   if (!target.valid()) {
     // Sec. 4.4.2: a complete rollback (abort) is only possible while the
@@ -167,7 +225,8 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
                                            SavepointId target) {
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
-  std::shared_ptr<Agent> agent = decode(rec.payload);
+  evict_resident(rec.agent);
+  std::shared_ptr<Agent> agent = load_committed_agent(rec);
   auto& log = agent->log();
   while (!log.empty() && log.back().is_savepoint() &&
          log.back().savepoint().id != target) {
@@ -178,7 +237,8 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
     finish_cancelled(tx, rec, *agent);
     return;
   }
-  const auto dests = next_compensation_nodes(log, *agent, rec.payload.size());
+  const auto dests =
+      next_compensation_nodes(log, *agent, committed_agent_bytes(rec));
   if (dests.empty()) {
     fail_agent(tx, rec, Status(Errc::protocol_error,
                                "cancel: rollback log has no end-of-step"));
@@ -223,6 +283,7 @@ void NodeRuntime::on_node_state(bool up) {
   up_ = up;
   slots_.clear();
   busy_agents_.clear();
+  resident_.clear();  // volatile cache; recovery decodes from the record area
   storage_.clear_claims();
   stage_waiters_.clear();
   rce_waiters_.clear();
@@ -389,6 +450,13 @@ void NodeRuntime::handle_message(const net::Message& m) {
 
 void NodeRuntime::stage_and_commit(TxId tx, NodeId dest, QueueRecord record,
                                    std::function<void(bool)> done) {
+  // A full-payload handoff (migration, rollback, launch, resume)
+  // supersedes any incremental image this node still holds for the agent:
+  // drop the record-area state within the same transaction.
+  if (!record.payload.empty()) {
+    const auto key = agent_image_key(record.agent);
+    if (storage_.has_record(key)) qm_.stage_record_erase(tx, key);
+  }
   if (dest == id_) {
     qm_.stage_enqueue(tx, std::move(record));
     txm_.commit_async(tx, std::move(done));
@@ -424,23 +492,32 @@ void NodeRuntime::stage_and_commit(TxId tx, NodeId dest, QueueRecord record,
 
 void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
   txm_.abort_tx(tx);
+  evict_resident(rec.agent);
   trace(TraceKind::msg, "agent " + std::to_string(rec.agent.value()) +
                             " FAILED: " + status.to_string());
   const TxId cleanup = txm_.begin();
   qm_.stage_remove(cleanup, rec.record_id);
+  const auto image_key = agent_image_key(rec.agent);
+  if (storage_.has_record(image_key)) {
+    qm_.stage_record_erase(cleanup, image_key);
+  }
   // Multi-agent executions: a waiting parent learns of the failure
   // through the mailbox, within the same cleanup transaction.
-  auto failed = decode(rec.payload);
+  auto failed = load_committed_agent(rec);
+  serial::Bytes final_bytes =
+      rec.payload.empty() ? encode_agent(*failed) : rec.payload;
   deliver_result(
       cleanup, *failed, /*ok=*/false, status,
-      [this, cleanup, rec, status](bool delivered) {
+      [this, cleanup, rec, status,
+       final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(cleanup);
           release_slot(rec);
           retry_later(rec.record_id);
           return;
         }
-        txm_.commit_async(cleanup, [this, rec, status](bool committed) {
+        txm_.commit_async(cleanup, [this, rec, status,
+                                    final_bytes](bool committed) {
           if (!committed) {
             release_slot(rec);
             retry_later(rec.record_id);
@@ -449,7 +526,7 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
           AgentOutcome out;
           out.state = AgentOutcome::State::failed;
           out.status = status;
-          out.final_agent = rec.payload;
+          out.final_agent = final_bytes;
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
@@ -462,6 +539,9 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
 
 void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
                                Agent& agent) {
+  evict_resident(rec.agent);
+  const auto image_key = agent_image_key(rec.agent);
+  if (storage_.has_record(image_key)) qm_.stage_record_erase(tx, image_key);
   serial::Bytes final_bytes = encode_agent(agent);
   // Multi-agent executions: the result is delivered to the parent's
   // mailbox within this final step transaction — exactly once.
@@ -543,6 +623,9 @@ void NodeRuntime::deliver_result(TxId tx, const Agent& agent, bool ok,
 
 void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
                                    Agent& agent) {
+  evict_resident(rec.agent);
+  const auto image_key = agent_image_key(rec.agent);
+  if (storage_.has_record(image_key)) qm_.stage_record_erase(tx, image_key);
   serial::Bytes final_bytes = encode_agent(agent);
   deliver_result(
       tx, agent, /*ok=*/false, Status(Errc::tx_aborted, "cancelled"),
@@ -584,7 +667,7 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
 void NodeRuntime::execute_step(const QueueRecord& rec) {
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
-  std::shared_ptr<Agent> agent = decode(rec.payload);
+  std::shared_ptr<Agent> agent = load_agent_for_step(rec);
   MAR_CHECK_MSG(agent->itinerary().valid_step(agent->position()),
                 "agent position does not address a step");
   const StepEntry step = agent->itinerary().step_at(agent->position());
@@ -610,6 +693,9 @@ void NodeRuntime::execute_step(const QueueRecord& rec) {
     if (ctx.fatal_status().code() == Errc::lock_conflict) {
       ++p_.lock_conflict_aborts();
     }
+    // The (possibly resident) in-memory agent was mutated by the aborted
+    // step: the retry must re-read the committed state.
+    evict_resident(rec.agent);
     txm_.abort_tx(tx);
     trace(TraceKind::step_abort, step.method + ": " +
                                      ctx.fatal_status().to_string() +
@@ -626,7 +712,8 @@ void NodeRuntime::execute_step(const QueueRecord& rec) {
     // enclosing alternatives entry (ref [14]); otherwise abandon the
     // innermost non-vital sub-itinerary (Sec. 5); otherwise the agent
     // fails.
-    auto pre_agent = decode(rec.payload);
+    evict_resident(rec.agent);
+    auto pre_agent = load_committed_agent(rec);
     txm_.abort_tx(tx);
     trace(TraceKind::step_abort,
           step.method + " failed permanently: " +
@@ -655,7 +742,8 @@ void NodeRuntime::execute_step(const QueueRecord& rec) {
   if (ctx.rollback_request().has_value()) {
     // Fig. 4a/5a: abort the step transaction; the agent state and log read
     // from stable storage (the queue record) are the pre-step state.
-    auto pre_agent = decode(rec.payload);
+    evict_resident(rec.agent);
+    auto pre_agent = load_committed_agent(rec);
     const auto target =
         resolve_rollback_target(*pre_agent, *ctx.rollback_request());
     txm_.abort_tx(tx);
@@ -799,8 +887,22 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
     const auto attempt = attempt_count(rec.record_id);
     const NodeId dest =
         next_step.locations[attempt % next_step.locations.size()];
-    QueueRecord next_rec =
-        make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    // The hot path: when the agent stays on this node, commit only the
+    // step's delta into its append-only stable record — O(changed state)
+    // instead of O(total state). Spawning steps write a full image (the
+    // children's launch records reference the parent's committed state).
+    const bool incremental =
+        p_.config().incremental_commit && dest == id_ && spawned.empty();
+    QueueRecord next_rec;
+    if (incremental) {
+      next_rec = stage_incremental_image(tx, *agent, rec);
+      // From here on the in-memory agent matches the staged durable image;
+      // the next delta (if the commit succeeds) starts at this state.
+      agent->mark_commit_baseline();
+    } else {
+      next_rec =
+          make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    }
     if (dest != id_) {
       trace(TraceKind::migrate,
             "agent " + std::to_string(rec.agent.value()) + " -> N" +
@@ -808,14 +910,22 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
                 std::to_string(next_rec.payload.size()) + " bytes)");
     }
     stage_and_commit(tx, dest, std::move(next_rec),
-                     [this, rec, spawned](bool committed) {
+                     [this, rec, spawned, agent, incremental](bool committed) {
                        if (committed) {
                          trace(TraceKind::step_commit, "T committed");
                          attempts_.erase(rec.record_id);
+                         if (incremental) {
+                           // Keep the committed state resident: the next
+                           // local step skips the full decode entirely.
+                           resident_[rec.agent] = agent;
+                         } else {
+                           evict_resident(rec.agent);
+                         }
                        } else {
                          trace(TraceKind::step_abort,
                                "commit failed (will restart)");
                          ++attempts_[rec.record_id];
+                         evict_resident(rec.agent);
                          // The spawns died with the transaction; the step
                          // will re-execute and re-spawn under fresh ids.
                          for (const auto child : spawned) {
@@ -891,7 +1001,8 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
   // Fig. 4a / 5a: new transaction; read agent + LOG from stable storage.
   const TxId tx = txm_.begin();
   qm_.stage_remove(tx, rec.record_id);
-  std::shared_ptr<Agent> agent = decode(rec.payload);
+  evict_resident(rec.agent);
+  std::shared_ptr<Agent> agent = load_committed_agent(rec);
   auto& log = agent->log();
 
   // Trailing savepoints that are not the target are dead: they belong to
@@ -939,7 +1050,8 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
 
   // Send the agent (or just the record, when it can stay) towards the
   // first compensation transaction.
-  const auto dests = next_compensation_nodes(log, *agent, rec.payload.size());
+  const auto dests =
+      next_compensation_nodes(log, *agent, committed_agent_bytes(rec));
   if (dests.empty()) {
     fail_agent(tx, rec, Status(Errc::protocol_error,
                                "rollback log has no end-of-step entry"));

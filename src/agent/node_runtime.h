@@ -72,6 +72,11 @@ class NodeRuntime {
   void enqueue_initial(storage::QueueRecord record);
   /// Fill free execution slots with eligible queue records.
   void pump();
+  /// Stable-record key of an agent's durable image on this node
+  /// (incremental commits; exposed for tests and tooling).
+  [[nodiscard]] static std::string agent_image_key(AgentId id) {
+    return "agentimg:" + std::to_string(id.value());
+  }
 
  private:
   // --- queue processing ------------------------------------------------------
@@ -177,6 +182,31 @@ class NodeRuntime {
   void deliver_result(TxId tx, const Agent& agent, bool ok,
                       const Status& error, std::function<void(bool)> done);
 
+  // --- incremental durability (delta savepoint commits) -----------------------
+  /// The committed (pre-step) agent state of a record: its payload, or —
+  /// for incremental records with an empty payload — the stable record
+  /// area's base image plus appended deltas.
+  [[nodiscard]] std::shared_ptr<Agent> load_committed_agent(
+      const storage::QueueRecord& rec) const;
+  /// Like load_committed_agent, but may return the resident in-memory
+  /// copy (committed state cached across local steps; skips the decode).
+  [[nodiscard]] std::shared_ptr<Agent> load_agent_for_step(
+      const storage::QueueRecord& rec);
+  /// The serialized size of the record's agent (adaptive-strategy pricing):
+  /// the payload size, or the record area's segment total for incremental
+  /// records.
+  [[nodiscard]] std::size_t committed_agent_bytes(
+      const storage::QueueRecord& rec) const;
+  /// Stage the agent's post-step durable image for a local handoff:
+  /// an O(delta) append when the step was append-only and the chain is
+  /// short, a full-image reset otherwise. Returns the (payload-less)
+  /// successor record. `prev` is the record being consumed.
+  [[nodiscard]] storage::QueueRecord stage_incremental_image(
+      TxId tx, const Agent& agent, const storage::QueueRecord& prev);
+  /// Drop the resident cache entry for an agent (any path that aborts,
+  /// rolls back, migrates or terminates it).
+  void evict_resident(AgentId id) { resident_.erase(id); }
+
   // --- small helpers ---------------------------------------------------------
   void trace(TraceKind kind, std::string detail);
   [[nodiscard]] std::unique_ptr<Agent> decode(const serial::Bytes& bytes)
@@ -205,6 +235,12 @@ class NodeRuntime {
   /// Per-record processing attempts (drives backoff + alternative nodes).
   /// Entries are erased when the record commits or the agent terminates.
   std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  /// Resident cache: the committed in-memory state of agents whose durable
+  /// image lives in this node's record area (incremental commits). Purely
+  /// an optimization — volatile, invalidated on crash and on every path
+  /// that leaves the steady local-commit loop; the record area stays
+  /// authoritative.
+  std::unordered_map<AgentId, std::shared_ptr<Agent>> resident_;
   /// Continuations waiting for agent.stage_ack / rce.ack, keyed by tx.
   std::unordered_map<TxId, std::function<void(bool)>> stage_waiters_;
   std::unordered_map<TxId, std::function<void(bool)>> rce_waiters_;

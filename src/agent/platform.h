@@ -63,6 +63,19 @@ struct PlatformConfig {
   /// classic one-record-at-a-time runtime bit-for-bit.
   std::uint32_t node_concurrency = 1;
 
+  /// Incremental durability (the Sec. 4.2 transition-logging idea applied
+  /// to the commit path itself): when an agent's next step runs on the
+  /// SAME node, commit only a delta — the step's appended log entries and
+  /// dirty data-space slots — into an append-only stable record instead of
+  /// rewriting the full agent image. Full images are still written on
+  /// migration, spawn, rollback and periodic compaction. false reproduces
+  /// the full-image-per-step durability path bit for bit.
+  bool incremental_commit = true;
+  /// Compact an agent's append-only record back to a single full image
+  /// after this many delta segments (bounds recovery replay length and
+  /// stale-segment space). Minimum 1.
+  std::uint32_t compaction_interval_steps = 32;
+
   /// Write savepoints automatically when entering sub-itineraries and
   /// garbage-collect / discard per Sec. 4.4.2.
   bool itinerary_savepoints = true;

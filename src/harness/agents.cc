@@ -103,6 +103,24 @@ void WorkloadAgent::run_step(const std::string& step,
     return;
   }
 
+  // Steady-state durability workload (A5): mutate one small weak slot and
+  // log a single agent compensation entry padded to `param_bytes` — no
+  // resource access, so the only state that grows with agent age is the
+  // rollback log the step commit has to make durable.
+  if (step == "spend_logged") {
+    const auto fill =
+        data().weak("trigger").get_or("param_bytes", std::int64_t{32});
+    ctx.charge_service(1);  // a unit of real work; advances virtual time
+    data().weak("cash") = data().weak("cash").as_int() - 1;
+    serial::Value undo = params({{"slot", Value("cash")},
+                                 {"amount", Value(1)}});
+    undo.set("pad", serial::Value(serial::Bytes(
+                        static_cast<std::size_t>(fill.as_int()),
+                        std::uint8_t{0xC3})));
+    ctx.log_agent_compensation("comp.counter_add", std::move(undo));
+    return;
+  }
+
   if (step == "collect") {
     auto r = ctx.invoke("dir", "lookup", params({{"key", Value("info")}}));
     if (r.is_ok()) {

@@ -17,6 +17,8 @@ namespace mar::harness {
 ///   noop       only bumps the visit counter
 ///   work       charges `work_ops` (default 1) service-time units without
 ///              touching any resource: lock-free, contention-free load
+///   spend_logged  weak "cash" -= 1 plus one ACE padded to `param_bytes`;
+///              no resource access — the A5 steady-state durability load
 ///   spend_cash weak "cash" -= 25, agent compensation entry only
 ///   withdraw   bank withdraw 100 -> cash; RCE (deposit back) + ACEs
 ///   deposit    bank deposit 50 from cash; RCE (withdraw back, may fail!)

@@ -118,10 +118,11 @@ void ResourceManager::on_crash() {
   // participant must keep isolating its writes until the decision).
   overlays_.clear();
   locks_.clear();
-  for (const auto& key : stable_.keys_with_prefix("prep.res:")) {
+  stable_.for_each_with_prefix("prep.res:", [this](const std::string& key,
+                                                   const serial::Bytes&
+                                                       bytes) {
     const TxId tx(std::stoull(key.substr(9)));
-    const auto bytes = stable_.get(key);
-    serial::Decoder dec(*bytes);
+    serial::Decoder dec(bytes);
     Overlay o;
     o.prepared = true;
     const auto n = dec.read_varint();
@@ -134,7 +135,7 @@ void ResourceManager::on_crash() {
       o.touched.emplace(std::move(name), std::move(state));
     }
     overlays_.emplace(tx, std::move(o));
-  }
+  });
 }
 
 }  // namespace mar::resource

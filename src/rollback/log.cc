@@ -54,6 +54,12 @@ void SavepointEntry::deserialize(serial::Decoder& dec) {
   for (auto& i : resume_position) i = dec.read_u32();
 }
 
+std::size_t SavepointEntry::byte_size() const {
+  return 4 + 1 + 4 + 1 + 1 + image.encoded_size() + delta.encoded_size() +
+         serial::varint_size(resume_position.size()) +
+         4 * resume_position.size();
+}
+
 void BeginOfStepEntry::serialize(serial::Encoder& enc) const {
   enc.write_u32(node.value());
   enc.write_string(step_name);
@@ -62,6 +68,10 @@ void BeginOfStepEntry::serialize(serial::Encoder& enc) const {
 void BeginOfStepEntry::deserialize(serial::Decoder& dec) {
   node = NodeId(dec.read_u32());
   step_name = dec.read_string();
+}
+
+std::size_t BeginOfStepEntry::byte_size() const {
+  return 4 + serial::blob_size(step_name.size());
 }
 
 void OperationEntry::serialize(serial::Encoder& enc) const {
@@ -80,6 +90,11 @@ void OperationEntry::deserialize(serial::Decoder& dec) {
   resource = dec.read_string();
 }
 
+std::size_t OperationEntry::byte_size() const {
+  return 1 + serial::blob_size(comp_op.size()) + params.encoded_size() + 4 +
+         serial::blob_size(resource.size());
+}
+
 void EndOfStepEntry::serialize(serial::Encoder& enc) const {
   enc.write_u32(node.value());
   enc.write_bool(has_mixed);
@@ -94,6 +109,11 @@ void EndOfStepEntry::deserialize(serial::Decoder& dec) {
   cannot_compensate = dec.read_bool();
   alternatives.resize(dec.read_count());
   for (auto& n : alternatives) n = NodeId(dec.read_u32());
+}
+
+std::size_t EndOfStepEntry::byte_size() const {
+  return 4 + 1 + 1 + serial::varint_size(alternatives.size()) +
+         4 * alternatives.size();
 }
 
 void LogEntry::serialize(serial::Encoder& enc) const {
@@ -134,9 +154,7 @@ void LogEntry::deserialize(serial::Decoder& dec) {
 }
 
 std::size_t LogEntry::byte_size() const {
-  serial::Encoder enc;
-  serialize(enc);
-  return enc.size();
+  return 1 + std::visit([](const auto& e) { return e.byte_size(); }, body_);
 }
 
 std::string LogEntry::to_string() const {
@@ -175,6 +193,7 @@ LogEntry RollbackLog::pop() {
   MAR_CHECK_MSG(!entries_.empty(), "pop on empty rollback log");
   LogEntry e = std::move(entries_.back());
   entries_.pop_back();
+  append_clean_ = false;
   return e;
 }
 
@@ -243,6 +262,7 @@ std::optional<bool> RollbackLog::gc_savepoint(SavepointId id) {
     }
     SavepointEntry removed = std::move(entries_[i].savepoint());
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    append_clean_ = false;  // interior removal (and possible chain rewrite)
     if (removed.lightweight) return false;  // carried no data
 
     // Find the next data-carrying savepoint; it may depend on the removed
@@ -322,12 +342,13 @@ void RollbackLog::serialize(serial::Encoder& enc) const {
 void RollbackLog::deserialize(serial::Decoder& dec) {
   entries_.resize(dec.read_count());
   for (auto& e : entries_) e.deserialize(dec);
+  mark_baseline();  // decoded state == the durable state
 }
 
 std::size_t RollbackLog::byte_size() const {
-  serial::Encoder enc;
-  serialize(enc);
-  return enc.size();
+  std::size_t n = serial::varint_size(entries_.size());
+  for (const auto& e : entries_) n += e.byte_size();
+  return n;
 }
 
 std::string RollbackLog::to_string() const {

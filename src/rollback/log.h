@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -66,6 +67,7 @@ struct SavepointEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
 };
 
 struct BeginOfStepEntry {
@@ -74,6 +76,7 @@ struct BeginOfStepEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
 };
 
 /// Operation-entry types of Sec. 4.4.1, driving the optimized rollback.
@@ -97,6 +100,7 @@ struct OperationEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
 };
 
 struct EndOfStepEntry {
@@ -113,6 +117,7 @@ struct EndOfStepEntry {
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
+  [[nodiscard]] std::size_t byte_size() const;
 };
 
 enum class EntryKind : std::uint8_t {
@@ -177,7 +182,28 @@ class RollbackLog {
     return entries_;
   }
   /// Discard everything (top-level sub-itinerary completion, Sec. 4.4.2).
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    append_clean_ = false;
+  }
+
+  // --- append tracking (incremental commit) -------------------------------
+  // Between two durable commits a steady-state step only PUSHES entries
+  // (BOS, OEs, EOS, SPs). The log tracks whether that held since the last
+  // mark_baseline(): pop(), clear() and gc_savepoint() — which may rewrite
+  // an interior savepoint's delta chain — break it, forcing the next
+  // commit to write a full image instead of an append-only delta.
+  /// Start a fresh tracking window (after decode or a durable commit).
+  void mark_baseline() {
+    baseline_ = entries_.size();
+    append_clean_ = true;
+  }
+  /// True while only pushes happened since the last baseline.
+  [[nodiscard]] bool append_clean() const { return append_clean_; }
+  /// Entries pushed since the baseline (meaningful only when clean).
+  [[nodiscard]] std::span<const LogEntry> appended_entries() const {
+    return std::span<const LogEntry>(entries_).subspan(baseline_);
+  }
 
   // --- queries used by the rollback algorithms ---------------------------
   /// The savepoint id of the last entry, if the last entry is an SP.
@@ -229,6 +255,9 @@ class RollbackLog {
 
  private:
   std::vector<LogEntry> entries_;
+  // Runtime-only append tracking; not serialized.
+  std::size_t baseline_ = 0;
+  bool append_clean_ = true;
 };
 
 }  // namespace mar::rollback

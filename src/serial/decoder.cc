@@ -63,9 +63,13 @@ std::int64_t Decoder::read_i64() {
 double Decoder::read_double() { return std::bit_cast<double>(read_u64()); }
 
 std::string Decoder::read_string() {
+  return std::string(read_string_view());
+}
+
+std::string_view Decoder::read_string_view() {
   const auto n = read_varint();
   need(n);
-  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return s;
 }

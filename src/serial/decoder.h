@@ -10,6 +10,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mar::serial {
@@ -32,6 +33,11 @@ class Decoder {
   std::int64_t read_i64();
   double read_double();
   std::string read_string();
+  /// Zero-copy string read: the returned view aliases the decode buffer
+  /// and is valid only while that buffer lives. For callers that compare
+  /// or dispatch on the string without retaining it (type tags, map keys
+  /// looked up immediately), this skips the per-read allocation.
+  std::string_view read_string_view();
   std::vector<std::uint8_t> read_bytes();
   /// A collection length prefix. Every element costs at least one byte on
   /// the wire, so a count exceeding the remaining buffer is malformed —

@@ -42,12 +42,14 @@ void Encoder::write_double(double v) {
 }
 
 void Encoder::write_string(std::string_view s) {
+  reserve(buf_.size() + blob_size(s.size()));
   write_varint(s.size());
   const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
   buf_.insert(buf_.end(), p, p + s.size());
 }
 
 void Encoder::write_bytes(std::span<const std::uint8_t> b) {
+  reserve(buf_.size() + blob_size(b.size()));
   write_varint(b.size());
   buf_.insert(buf_.end(), b.begin(), b.end());
 }

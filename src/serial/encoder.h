@@ -11,8 +11,14 @@
 //   - zigzag varints for signed integers
 //   - IEEE-754 doubles (bit pattern as u64)
 //   - length-prefixed strings / byte blobs
+//
+// Sizing: every serializable type exposes a byte-exact size (Value::
+// encoded_size, RollbackLog::byte_size, ...) computed WITHOUT encoding,
+// so callers on the hot commit path can pre-size the buffer — a full
+// agent image is a single allocation (Encoder(reserve_hint)).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -22,9 +28,41 @@ namespace mar::serial {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Wire size of an unsigned LEB128 varint (1..10 bytes).
+[[nodiscard]] constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Wire size of a zigzag-encoded signed varint.
+[[nodiscard]] constexpr std::size_t i64_size(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  return varint_size((u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+/// Wire size of a length-prefixed string / byte blob.
+[[nodiscard]] constexpr std::size_t blob_size(std::size_t n) {
+  return varint_size(n) + n;
+}
+
 class Encoder {
  public:
   Encoder() = default;
+  /// Pre-size the buffer for `reserve_hint` bytes of payload: callers that
+  /// know (or can compute) the encoded size write without reallocating.
+  explicit Encoder(std::size_t reserve_hint) { buf_.reserve(reserve_hint); }
+
+  /// Grow the buffer capacity to at least `total` payload bytes. Growth is
+  /// geometric (like the underlying vector), so interleaving reserve()
+  /// with writes stays amortized O(1) even when hints are underestimates.
+  void reserve(std::size_t total) {
+    if (total <= buf_.capacity()) return;
+    buf_.reserve(std::max(total, buf_.capacity() + buf_.capacity() / 2));
+  }
 
   void write_u8(std::uint8_t v);
   void write_u16(std::uint16_t v);

@@ -71,11 +71,12 @@ class TypeRegistry {
   }
 
   [[nodiscard]] bool contains(std::string_view name) const {
-    return factories_.find(std::string(name)) != factories_.end();
+    // Heterogeneous lookup (std::less<>): no temporary std::string.
+    return factories_.find(name) != factories_.end();
   }
 
   [[nodiscard]] std::unique_ptr<Base> create(std::string_view name) const {
-    auto it = factories_.find(std::string(name));
+    auto it = factories_.find(name);
     MAR_CHECK_MSG(it != factories_.end(), "unknown type: " << name);
     return it->second();
   }

@@ -215,9 +215,42 @@ void Value::deserialize(Decoder& dec) {
 }
 
 std::size_t Value::encoded_size() const {
-  Encoder enc;
-  serialize(enc);
-  return enc.size();
+  // Computed arithmetically (no encoding, no allocation): hot commit paths
+  // use this to pre-size the encode buffer, so it must mirror serialize()
+  // byte for byte.
+  std::size_t n = 1;  // kind tag
+  switch (kind()) {
+    case Kind::null:
+      break;
+    case Kind::boolean:
+      n += 1;
+      break;
+    case Kind::integer:
+      n += i64_size(std::get<std::int64_t>(data_));
+      break;
+    case Kind::real:
+      n += 8;
+      break;
+    case Kind::string:
+      n += blob_size(std::get<std::string>(data_).size());
+      break;
+    case Kind::bytes:
+      n += blob_size(std::get<Bytes>(data_).size());
+      break;
+    case Kind::list: {
+      const auto& l = std::get<List>(data_);
+      n += varint_size(l.size());
+      for (const auto& v : l) n += v.encoded_size();
+      break;
+    }
+    case Kind::map: {
+      const auto& m = std::get<Map>(data_);
+      n += varint_size(m.size());
+      for (const auto& [k, v] : m) n += blob_size(k.size()) + v.encoded_size();
+      break;
+    }
+  }
+  return n;
 }
 
 std::string Value::to_string() const {
@@ -342,9 +375,22 @@ void ValuePatch::deserialize(Decoder& dec) {
 }
 
 std::size_t ValuePatch::encoded_size() const {
-  Encoder enc;
-  serialize(enc);
-  return enc.size();
+  std::size_t n = 1;  // kind tag
+  switch (kind_) {
+    case Kind::none:
+    case Kind::remove:
+      break;
+    case Kind::set:
+      n += value_.encoded_size();
+      break;
+    case Kind::map:
+      n += varint_size(entries_.size());
+      for (const auto& [k, p] : entries_) {
+        n += blob_size(k.size()) + p.encoded_size();
+      }
+      break;
+  }
+  return n;
 }
 
 std::string ValuePatch::to_string() const {

@@ -23,9 +23,9 @@ void QueueRecord::deserialize(serial::Decoder& dec) {
 }
 
 std::size_t QueueRecord::byte_size() const {
-  serial::Encoder enc;
-  serialize(enc);
-  return enc.size();
+  // Arithmetic mirror of serialize() — enqueue meters every record, so
+  // this must not cost an encode of the (possibly large) payload.
+  return 8 + 8 + 1 + 4 + 1 + serial::blob_size(payload.size());
 }
 
 void StableStorage::put(const std::string& key, serial::Bytes value) {
@@ -56,6 +56,51 @@ std::vector<std::string> StableStorage::keys_with_prefix(
     out.push_back(it->first);
   }
   return out;
+}
+
+void StableStorage::for_each_with_prefix(
+    const std::string& prefix,
+    const std::function<void(const std::string&, const serial::Bytes&)>& fn)
+    const {
+  for (auto it = kv_.lower_bound(prefix); it != kv_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    fn(it->first, it->second);
+  }
+}
+
+void StableStorage::record_reset(const std::string& key, serial::Bytes base) {
+  stats_.bytes_written += key.size() + base.size();
+  ++stats_.record_resets;
+  auto& segments = records_[key];
+  segments.clear();
+  segments.push_back(std::move(base));
+}
+
+void StableStorage::record_append(const std::string& key,
+                                  serial::Bytes delta) {
+  stats_.bytes_written += delta.size();
+  ++stats_.record_appends;
+  records_[key].push_back(std::move(delta));
+}
+
+bool StableStorage::record_erase(const std::string& key) {
+  return records_.erase(key) > 0;
+}
+
+bool StableStorage::has_record(const std::string& key) const {
+  return records_.contains(key);
+}
+
+const std::vector<serial::Bytes>* StableStorage::record_segments(
+    const std::string& key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t StableStorage::record_segment_count(const std::string& key)
+    const {
+  auto it = records_.find(key);
+  return it == records_.end() ? 0 : it->second.size();
 }
 
 void StableStorage::enqueue(QueueRecord record) {

@@ -7,18 +7,23 @@
 // crashes (the simulation only resets volatile runtime state), and it
 // meters bytes written so experiments can report logging/savepoint cost.
 //
-// Two facilities:
+// Three facilities:
 //   * a durable key/value area (used for resource state, prepared-
-//     transaction records and commit decisions), and
+//     transaction records and commit decisions),
+//   * an append-only record area: per-key segment lists holding a base
+//     image plus appended deltas (incremental agent commits — the write
+//     path pays O(delta) per step instead of O(total state)), and
 //   * the agent input queue of the node, holding self-contained records.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "serial/decoder.h"
 #include "serial/encoder.h"
@@ -59,11 +64,15 @@ struct QueueRecord {
   [[nodiscard]] std::size_t byte_size() const;
 };
 
-/// Write metering, reported by the forward-overhead experiment (E8).
+/// Write metering, reported by the forward-overhead experiment (E8) and
+/// the steady-state durability experiment (A5).
 struct StorageStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t kv_writes = 0;
   std::uint64_t queue_ops = 0;
+  /// Append-only record area: segment appends / full-image rewrites.
+  std::uint64_t record_appends = 0;
+  std::uint64_t record_resets = 0;
 };
 
 class StableStorage {
@@ -76,6 +85,36 @@ class StableStorage {
   /// All keys with the given prefix (recovery scans).
   [[nodiscard]] std::vector<std::string> keys_with_prefix(
       const std::string& prefix) const;
+  /// Visit every (key, value) with the given prefix, in key order,
+  /// without materializing a vector of key copies. Preferred over
+  /// keys_with_prefix for scan loops.
+  void for_each_with_prefix(
+      const std::string& prefix,
+      const std::function<void(const std::string&, const serial::Bytes&)>&
+          fn) const;
+
+  // --- append-only record area --------------------------------------------
+  // A record is a list of segments: segments[0] is a full base image,
+  // the rest are deltas in append order. The hot path only ever appends;
+  // compaction replaces the whole list with a freshly merged base
+  // (record_reset — the storage layer cannot merge segments itself, the
+  // owner supplies the merged image).
+  /// Replace the record with a single base segment (also: compaction).
+  void record_reset(const std::string& key, serial::Bytes base);
+  /// Append a delta segment to an existing record (creates the record if
+  /// absent, which recovery treats as a base — callers always reset
+  /// first).
+  void record_append(const std::string& key, serial::Bytes delta);
+  /// Drop the record. Returns false if absent.
+  bool record_erase(const std::string& key);
+  [[nodiscard]] bool has_record(const std::string& key) const;
+  /// The record's segments, base first; nullptr when absent.
+  [[nodiscard]] const std::vector<serial::Bytes>* record_segments(
+      const std::string& key) const;
+  /// Number of segments (0 when absent); the delta-chain length is
+  /// segment count - 1, which drives periodic compaction.
+  [[nodiscard]] std::size_t record_segment_count(const std::string& key)
+      const;
 
   // --- agent input queue ---------------------------------------------------
   /// Append a record. Duplicate record_ids are ignored (exactly-once).
@@ -108,6 +147,7 @@ class StableStorage {
 
  private:
   std::map<std::string, serial::Bytes> kv_;
+  std::map<std::string, std::vector<serial::Bytes>> records_;
   std::deque<QueueRecord> queue_;
   /// Volatile: record ids currently claimed by an execution slot.
   std::unordered_set<std::uint64_t> claimed_;

@@ -2,11 +2,25 @@
 
 namespace mar::tx {
 
+void QueueManager::RecordOp::serialize(serial::Encoder& enc) const {
+  enc.write_u8(static_cast<std::uint8_t>(kind));
+  enc.write_string(key);
+  enc.write_bytes(bytes);
+}
+
+void QueueManager::RecordOp::deserialize(serial::Decoder& dec) {
+  kind = static_cast<Kind>(dec.read_u8());
+  key = dec.read_string();
+  bytes = dec.read_bytes();
+}
+
 void QueueManager::Staged::serialize(serial::Encoder& enc) const {
   enc.write_varint(enqueues.size());
   for (const auto& r : enqueues) r.serialize(enc);
   enc.write_varint(removes.size());
   for (const auto id : removes) enc.write_u64(id);
+  enc.write_varint(record_ops.size());
+  for (const auto& op : record_ops) op.serialize(enc);
 }
 
 void QueueManager::Staged::deserialize(serial::Decoder& dec) {
@@ -16,6 +30,9 @@ void QueueManager::Staged::deserialize(serial::Decoder& dec) {
   const auto nr = dec.read_count();
   removes.resize(nr);
   for (auto& id : removes) id = dec.read_u64();
+  const auto no = dec.read_count();
+  record_ops.resize(no);
+  for (auto& op : record_ops) op.deserialize(dec);
 }
 
 void QueueManager::stage_enqueue(TxId tx, storage::QueueRecord record) {
@@ -24,6 +41,23 @@ void QueueManager::stage_enqueue(TxId tx, storage::QueueRecord record) {
 
 void QueueManager::stage_remove(TxId tx, std::uint64_t record_id) {
   staged_[tx].removes.push_back(record_id);
+}
+
+void QueueManager::stage_record_reset(TxId tx, std::string key,
+                                      serial::Bytes base) {
+  staged_[tx].record_ops.push_back(
+      RecordOp{RecordOp::Kind::reset, std::move(key), std::move(base)});
+}
+
+void QueueManager::stage_record_append(TxId tx, std::string key,
+                                       serial::Bytes delta) {
+  staged_[tx].record_ops.push_back(
+      RecordOp{RecordOp::Kind::append, std::move(key), std::move(delta)});
+}
+
+void QueueManager::stage_record_erase(TxId tx, std::string key) {
+  staged_[tx].record_ops.push_back(
+      RecordOp{RecordOp::Kind::erase, std::move(key), {}});
 }
 
 const storage::QueueRecord* QueueManager::next_eligible(
@@ -62,6 +96,21 @@ void QueueManager::commit(TxId tx) {
   if (it == staged_.end()) return;  // idempotent
   for (auto& r : it->second.enqueues) stable_.enqueue(std::move(r));
   for (const auto id : it->second.removes) stable_.remove(id);
+  // Record-area ops apply in staging order (a reset establishing a base
+  // may be followed by the first delta append in the same transaction).
+  for (auto& op : it->second.record_ops) {
+    switch (op.kind) {
+      case RecordOp::Kind::reset:
+        stable_.record_reset(op.key, std::move(op.bytes));
+        break;
+      case RecordOp::Kind::append:
+        stable_.record_append(op.key, std::move(op.bytes));
+        break;
+      case RecordOp::Kind::erase:
+        stable_.record_erase(op.key);
+        break;
+    }
+  }
   stable_.erase(prep_key(tx));
   staged_.erase(it);
 }
@@ -75,15 +124,15 @@ void QueueManager::on_crash() {
   // Volatile (unprepared) staging evaporates with the crash; prepared
   // staging is reloaded from stable storage.
   staged_.clear();
-  for (const auto& key : stable_.keys_with_prefix("prep.queue:")) {
-    const TxId tx(std::stoull(key.substr(11)));
-    const auto bytes = stable_.get(key);
-    serial::Decoder dec(*bytes);
-    Staged s;
-    s.deserialize(dec);
-    s.prepared = true;
-    staged_.emplace(tx, std::move(s));
-  }
+  stable_.for_each_with_prefix(
+      "prep.queue:", [this](const std::string& key, const serial::Bytes& bytes) {
+        const TxId tx(std::stoull(key.substr(11)));
+        serial::Decoder dec(bytes);
+        Staged s;
+        s.deserialize(dec);
+        s.prepared = true;
+        staged_.emplace(tx, std::move(s));
+      });
 }
 
 }  // namespace mar::tx

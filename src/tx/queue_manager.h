@@ -27,6 +27,18 @@ class QueueManager final : public Participant {
   /// Stage "remove this record from the local queue at commit".
   void stage_remove(TxId tx, std::uint64_t record_id);
 
+  // --- staged record-area ops (incremental agent commits) -----------------
+  // An agent's durable image lives in the storage record area when it
+  // commits incrementally; updating it must be atomic with the queue
+  // movement of the same step transaction, so the ops are staged here and
+  // group-committed with the enqueues/removes. Ops apply in staging order.
+  /// Stage "replace the record with this base image" (establish/compact).
+  void stage_record_reset(TxId tx, std::string key, serial::Bytes base);
+  /// Stage "append this delta segment".
+  void stage_record_append(TxId tx, std::string key, serial::Bytes delta);
+  /// Stage "drop the record" (migration away / terminal state).
+  void stage_record_erase(TxId tx, std::string key);
+
   // --- slotted scheduling (claims by record id) ---------------------------
   // The node runtime no longer consumes the queue "front-first, one at a
   // time": each execution slot claims a specific record by id, works on it
@@ -51,9 +63,20 @@ class QueueManager final : public Participant {
   void on_crash() override;
 
  private:
+  struct RecordOp {
+    enum class Kind : std::uint8_t { reset = 0, append = 1, erase = 2 };
+    Kind kind = Kind::reset;
+    std::string key;
+    serial::Bytes bytes;  // empty for erase
+
+    void serialize(serial::Encoder& enc) const;
+    void deserialize(serial::Decoder& dec);
+  };
+
   struct Staged {
     std::vector<storage::QueueRecord> enqueues;
     std::vector<std::uint64_t> removes;
+    std::vector<RecordOp> record_ops;
     bool prepared = false;
 
     void serialize(serial::Encoder& enc) const;

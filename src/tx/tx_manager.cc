@@ -312,9 +312,14 @@ void TxManager::on_crash() {
 
 void TxManager::on_recover() {
   ++epoch_;
-  // Participant side: resolve prepared transactions.
-  for (const auto& key : stable_.keys_with_prefix("txprep:")) {
-    const TxId tx(std::stoull(key.substr(7)));
+  // Participant side: resolve prepared transactions. abort_locals may
+  // erase the scanned prep key mid-scan, so collect the ids first.
+  std::vector<TxId> prepped;
+  stable_.for_each_with_prefix(
+      "txprep:", [&prepped](const std::string& key, const serial::Bytes&) {
+        prepped.emplace_back(std::stoull(key.substr(7)));
+      });
+  for (const TxId tx : prepped) {
     const NodeId coord = coordinator_of(tx);
     if (coord == self_) {
       if (!stable_.contains(decision_key(tx))) {
@@ -328,11 +333,15 @@ void TxManager::on_recover() {
     }
   }
   // Coordinator side: re-drive every decided-but-unfinished transaction.
-  for (const auto& key : stable_.keys_with_prefix("txdec:")) {
-    const TxId tx(std::stoull(key.substr(6)));
-    const auto record = stable_.get(key);
-    MAR_CHECK(record.has_value());
-    serial::Decoder dec(*record);
+  // commit_locals mutates stable storage, so snapshot the decisions first.
+  std::vector<std::pair<TxId, serial::Bytes>> decisions;
+  stable_.for_each_with_prefix(
+      "txdec:",
+      [&decisions](const std::string& key, const serial::Bytes& bytes) {
+        decisions.emplace_back(TxId(std::stoull(key.substr(6))), bytes);
+      });
+  for (const auto& [tx, record] : decisions) {
+    serial::Decoder dec(record);
     const auto n = dec.read_varint();
     Coord c;
     for (std::uint64_t i = 0; i < n; ++i) {

@@ -32,6 +32,45 @@ TEST(EncoderTest, FixedWidthRoundTrip) {
   dec.expect_end();
 }
 
+TEST(EncoderTest, ReserveHintMakesEncodeSingleAllocation) {
+  Value v = Value::empty_map();
+  for (int i = 0; i < 64; ++i) {
+    v.set("key-" + std::to_string(i), std::string(100, 'x'));
+  }
+  Encoder enc(v.encoded_size());
+  const auto* before = enc.buffer().data();
+  const auto cap = enc.buffer().capacity();
+  v.serialize(enc);
+  EXPECT_EQ(enc.size(), v.encoded_size());
+  EXPECT_EQ(enc.buffer().capacity(), cap);      // never grew
+  EXPECT_EQ(enc.buffer().data(), before);       // never reallocated
+}
+
+TEST(EncoderTest, ReserveGrowsGeometrically) {
+  Encoder enc;
+  enc.reserve(100);
+  const auto cap1 = enc.buffer().capacity();
+  EXPECT_GE(cap1, 100u);
+  enc.reserve(cap1 + 1);  // slightly over: geometric, not exact, growth
+  EXPECT_GE(enc.buffer().capacity(), cap1 + cap1 / 2);
+}
+
+TEST(DecoderTest, ReadStringViewIsZeroCopyAndMatches) {
+  Encoder enc;
+  enc.write_string("type.name");
+  enc.write_u32(7);
+  Decoder dec(enc.buffer());
+  const auto view = dec.read_string_view();
+  EXPECT_EQ(view, "type.name");
+  // The view aliases the encoder's buffer, not a copy.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(view.data()),
+            enc.buffer().data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(view.data()),
+            enc.buffer().data() + enc.buffer().size());
+  EXPECT_EQ(dec.read_u32(), 7u);
+  dec.expect_end();
+}
+
 TEST(EncoderTest, VarintBoundaries) {
   for (std::uint64_t v :
        {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xffffffffull,
@@ -351,6 +390,35 @@ TEST_P(PatchPropertyTest, SerializationRoundTripRandom) {
   for (int i = 0; i < 100; ++i) {
     const Value v = random_value(rng, 4);
     EXPECT_EQ(from_bytes<Value>(to_bytes(v)), v);
+  }
+}
+
+TEST_P(PatchPropertyTest, ComposeOfIndependentPatches) {
+  // The full Sec. 4.4.2 GC-merge property over arbitrary random trees:
+  // apply(compose(d1, d2), a) == apply(d2, apply(d1, a)) must hold for
+  // INDEPENDENT patches and an unrelated base — not only for diff chains
+  // that share their intermediate state. compose() is total (a map patch
+  // after remove/non-map starts from an empty map), so no case is exempt.
+  Rng rng(GetParam() * 15485863 + 11);
+  for (int i = 0; i < 200; ++i) {
+    const Value a = random_value(rng, 3);
+    const auto d1 = diff(random_value(rng, 3), random_value(rng, 3));
+    const auto d2 = diff(random_value(rng, 3), random_value(rng, 3));
+    EXPECT_EQ(apply(compose(d1, d2), a), apply(d2, apply(d1, a)))
+        << "a=" << a.to_string() << " d1=" << d1.to_string()
+        << " d2=" << d2.to_string();
+  }
+}
+
+TEST_P(PatchPropertyTest, EncodedSizeMatchesWireSize) {
+  // encoded_size() is computed arithmetically (the pre-sizing hot path);
+  // it must agree with the actual encoder output on every shape.
+  Rng rng(GetParam() * 6700417 + 29);
+  for (int i = 0; i < 100; ++i) {
+    const Value v = random_value(rng, 4);
+    EXPECT_EQ(v.encoded_size(), to_bytes(v).size()) << v.to_string();
+    const auto patch = diff(random_value(rng, 3), random_value(rng, 3));
+    EXPECT_EQ(patch.encoded_size(), to_bytes(patch).size());
   }
 }
 

@@ -100,6 +100,53 @@ TEST(QueueRecordTest, SerializationRoundTrip) {
 // QueueManager as a participant
 // --------------------------------------------------------------------------
 
+TEST(StableStorageTest, RecordAreaBasics) {
+  StableStorage s;
+  EXPECT_FALSE(s.has_record("agent:1"));
+  EXPECT_EQ(s.record_segment_count("agent:1"), 0u);
+  s.record_reset("agent:1", {1, 2, 3});
+  s.record_append("agent:1", {4});
+  s.record_append("agent:1", {5, 6});
+  ASSERT_TRUE(s.has_record("agent:1"));
+  const auto* segs = s.record_segments("agent:1");
+  ASSERT_NE(segs, nullptr);
+  ASSERT_EQ(segs->size(), 3u);
+  EXPECT_EQ((*segs)[0], (serial::Bytes{1, 2, 3}));
+  EXPECT_EQ((*segs)[2], (serial::Bytes{5, 6}));
+  // Compaction: reset folds the chain back to one base segment.
+  s.record_reset("agent:1", {9});
+  EXPECT_EQ(s.record_segment_count("agent:1"), 1u);
+  EXPECT_TRUE(s.record_erase("agent:1"));
+  EXPECT_FALSE(s.record_erase("agent:1"));
+  EXPECT_EQ(s.record_segments("agent:1"), nullptr);
+}
+
+TEST(StableStorageTest, RecordAreaMetersAppendsNotRewrites) {
+  StableStorage s;
+  s.record_reset("k", serial::Bytes(1000, 0xAA));
+  const auto after_base = s.stats().bytes_written;
+  s.record_append("k", serial::Bytes(10, 0xBB));
+  // The append is metered at delta size, not record size.
+  EXPECT_EQ(s.stats().bytes_written, after_base + 10);
+  EXPECT_EQ(s.stats().record_resets, 1u);
+  EXPECT_EQ(s.stats().record_appends, 1u);
+}
+
+TEST(StableStorageTest, ForEachWithPrefixVisitsInOrder) {
+  StableStorage s;
+  s.put("a:2", {2});
+  s.put("a:1", {1});
+  s.put("b:1", {3});
+  std::vector<std::string> seen;
+  s.for_each_with_prefix("a:", [&seen](const std::string& key,
+                                       const serial::Bytes& bytes) {
+    seen.push_back(key + "=" + std::to_string(bytes[0]));
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a:1=1");
+  EXPECT_EQ(seen[1], "a:2=2");
+}
+
 TEST(QueueManagerTest, CommitAppliesStagedOps) {
   StableStorage s;
   tx::QueueManager qm(s);
@@ -141,6 +188,49 @@ TEST(QueueManagerTest, PreparedStateSurvivesCrash) {
   qm.commit(prepared_tx);
   ASSERT_NE(s.front(), nullptr);
   EXPECT_EQ(s.front()->record_id, 10u);
+}
+
+TEST(QueueManagerTest, RecordOpsGroupCommitWithQueueOps) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.enqueue(record(1));
+  const TxId tx(100);
+  qm.stage_remove(tx, 1);
+  qm.stage_enqueue(tx, record(2));
+  qm.stage_record_reset(tx, "agentimg:1", {1, 2});
+  qm.stage_record_append(tx, "agentimg:1", {3});
+  // Nothing visible before commit.
+  EXPECT_FALSE(s.has_record("agentimg:1"));
+  EXPECT_TRUE(qm.prepare(tx));
+  qm.commit(tx);
+  ASSERT_EQ(s.record_segment_count("agentimg:1"), 2u);
+  EXPECT_EQ((*s.record_segments("agentimg:1"))[1], (serial::Bytes{3}));
+  EXPECT_EQ(s.front()->record_id, 2u);
+}
+
+TEST(QueueManagerTest, AbortDiscardsRecordOps) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.record_reset("agentimg:1", {1});
+  const TxId tx(100);
+  qm.stage_record_append(tx, "agentimg:1", {2});
+  qm.stage_record_erase(tx, "agentimg:1");
+  qm.abort(tx);
+  EXPECT_EQ(s.record_segment_count("agentimg:1"), 1u);
+}
+
+TEST(QueueManagerTest, PreparedRecordOpsSurviveCrash) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  const TxId tx(7);
+  qm.stage_record_reset(tx, "agentimg:9", {1, 2, 3});
+  qm.stage_record_append(tx, "agentimg:9", {4});
+  EXPECT_TRUE(qm.prepare(tx));
+  qm.on_crash();  // reloads the prepared staging, record ops included
+  EXPECT_TRUE(qm.has_tx(tx));
+  qm.commit(tx);
+  ASSERT_EQ(s.record_segment_count("agentimg:9"), 2u);
+  EXPECT_EQ((*s.record_segments("agentimg:9"))[0], (serial::Bytes{1, 2, 3}));
 }
 
 TEST(QueueManagerTest, CommitIsIdempotent) {
