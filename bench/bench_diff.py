@@ -7,11 +7,17 @@ Prints per-metric deltas for every bench row shared by both files and
 fails (exit 1) when the fresh run is unhealthy:
   * any bench report carries "ok": false, or
   * any individual row carries "ok": false, or
-  * a bench present in the baseline is missing from the fresh run.
+  * a bench present in the baseline is missing from the fresh run, or
+  * a deterministic health metric regresses: abort rates
+    (abort_rate, lock_conflict_aborts) or sync amortization
+    (syncs_per_step, sync_batches) growing beyond the tolerance. These
+    are simulation-virtual-time metrics — identical on every machine for
+    a given build — so a regression is a code change, not noise.
 
-Numeric drift never fails the diff: several benches measure wall-clock
-time, which legitimately varies between machines and runs. The deltas are
-printed so a human (or a perf-trajectory tool) can judge them.
+Other numeric drift never fails the diff: several benches measure
+wall-clock time, which legitimately varies between machines and runs.
+The deltas are printed so a human (or a perf-trajectory tool) can judge
+them.
 """
 import json
 import sys
@@ -32,7 +38,28 @@ def is_number(v):
 ID_FIELDS = {
     "age", "fleet", "steps", "measured_steps", "node_concurrency",
     "param_bytes", "seed", "seed_index", "oldest_age",
+    "group_commit_window",
 }
+
+# Deterministic health metrics: an *increase* beyond the tolerance fails
+# the diff (lower is better for all of them). Relative slack plus a small
+# absolute floor so near-zero baselines don't trip on +1.
+GATED_FIELDS = {
+    "abort_rate": (0.25, 0.05),
+    "lock_conflict_aborts": (0.25, 4),
+    "syncs_per_step": (0.10, 0.02),
+    "sync_batches": (0.10, 4),
+}
+
+
+def gated_regression(field, old, new):
+    """Failure message when a health metric regressed, else None."""
+    if field not in GATED_FIELDS:
+        return None
+    rel, abs_slack = GATED_FIELDS[field]
+    if new <= old + max(abs(old) * rel, abs_slack):
+        return None
+    return f"{field} regressed {old} -> {new}"
 
 
 def row_key(row):
@@ -50,6 +77,7 @@ def diff_rows(bench, baseline_rows, fresh_rows):
     # preset diffs cleanly against a full-preset baseline: shared cells
     # are compared, missing cells are noted, never compared cross-cell.
     lines = []
+    failures = []
     baseline_by_key = {}
     for row in baseline_rows:
         if isinstance(row, dict):
@@ -75,13 +103,16 @@ def diff_rows(bench, baseline_rows, fresh_rows):
                 continue
             pct = f" ({(b - a) / a * 100.0:+.1f}%)" if a else ""
             lines.append(f"  [{key}].{field}: {a} -> {b}{pct}")
+            regressed = gated_regression(field, a, b)
+            if regressed:
+                failures.append(f"{bench}: [{key}] {regressed}")
     skipped = sum(len(v) for v in baseline_by_key.values())
     if skipped:
         lines.append(
             f"  {skipped} baseline cell(s) not in this run "
             "(reduced preset), skipped"
         )
-    return lines
+    return lines, failures
 
 
 def health_failures(name, report):
@@ -119,7 +150,10 @@ def main(argv):
         if name not in baseline or not isinstance(baseline[name], dict):
             print(f"{name}: new bench (no baseline)")
             continue
-        lines = diff_rows(name, flatten_rows(baseline[name]), flatten_rows(report))
+        lines, gated = diff_rows(
+            name, flatten_rows(baseline[name]), flatten_rows(report)
+        )
+        failures.extend(gated)
         if lines:
             print(f"{name}:")
             print("\n".join(lines))

@@ -29,6 +29,7 @@ BENCHES=(
   bench_e6_fault_recovery
   bench_a4_throughput
   bench_a5_steady_state
+  bench_a6_contention
   bench_micro_codec
 )
 

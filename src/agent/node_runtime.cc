@@ -21,6 +21,9 @@ NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
       txm_(id, platform.sim(), platform.net(), storage_) {
   txm_.register_participant(qm_);
   txm_.register_participant(rm_);
+  rm_.set_granularity(platform.config().lock_granularity);
+  txm_.set_group_commit(platform.config().group_commit_window,
+                        platform.config().group_commit_flush_us);
 }
 
 void NodeRuntime::trace(TraceKind kind, std::string detail) {
@@ -59,11 +62,31 @@ std::size_t NodeRuntime::committed_agent_bytes(
   return n;
 }
 
+bool NodeRuntime::should_compact(const std::string& key) const {
+  const auto& cfg = p_.config();
+  const auto interval =
+      std::max<std::uint32_t>(1, cfg.compaction_interval_steps);
+  const auto* segments = storage_.record_segments(key);
+  if (segments == nullptr || segments->size() < 2) return false;
+  // Hard cap: bound the recovery replay length regardless of sizes.
+  if (segments->size() >= interval + 1) return true;
+  // Bytes-ratio policy: compact once the delta chain outweighs the base,
+  // so the stale-segment footprint stays proportional to the agent
+  // (amortized-flat) instead of rewriting on a fixed cadence.
+  if (cfg.compaction_ratio > 0) {
+    std::size_t delta_bytes = 0;
+    for (std::size_t i = 1; i < segments->size(); ++i) {
+      delta_bytes += (*segments)[i].size();
+    }
+    return static_cast<double>(delta_bytes) >
+           cfg.compaction_ratio * static_cast<double>(segments->front().size());
+  }
+  return false;
+}
+
 storage::QueueRecord NodeRuntime::stage_incremental_image(
     TxId tx, const Agent& agent, const storage::QueueRecord& prev) {
   const auto key = agent_image_key(agent.id());
-  const auto interval =
-      std::max<std::uint32_t>(1, p_.config().compaction_interval_steps);
   if (!agent.delta_ready()) {
     // The log saw pops / GC / discard this step: not expressible as an
     // append. Rewrite the base (which also resets the delta chain).
@@ -74,8 +97,8 @@ storage::QueueRecord NodeRuntime::stage_incremental_image(
     // this step's delta, all within the step transaction.
     qm_.stage_record_reset(tx, key, prev.payload);
     qm_.stage_record_append(tx, key, encode_agent_delta(agent));
-  } else if (storage_.record_segment_count(key) >= interval + 1) {
-    // Periodic compaction: fold the chain back into one full image.
+  } else if (should_compact(key)) {
+    // Compaction: fold the chain back into one full image.
     qm_.stage_record_reset(tx, key, encode_agent(agent));
   } else {
     qm_.stage_record_append(tx, key, encode_agent_delta(agent));

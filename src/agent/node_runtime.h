@@ -197,6 +197,11 @@ class NodeRuntime {
   /// records.
   [[nodiscard]] std::size_t committed_agent_bytes(
       const storage::QueueRecord& rec) const;
+  /// Whether the agent's delta chain under `key` should be folded back
+  /// into one full image: at the interval cap, or — with
+  /// PlatformConfig::compaction_ratio set — once the accumulated delta
+  /// bytes outweigh the base image.
+  [[nodiscard]] bool should_compact(const std::string& key) const;
   /// Stage the agent's post-step durable image for a local handoff:
   /// an O(delta) append when the step was append-only and the chain is
   /// short, a full-image reset otherwise. Returns the (payload-less)

@@ -21,6 +21,7 @@
 
 #include "agent/agent.h"
 #include "net/network.h"
+#include "resource/resource.h"
 #include "rollback/comp_registry.h"
 #include "sim/simulator.h"
 #include "util/ids.h"
@@ -63,6 +64,23 @@ struct PlatformConfig {
   /// classic one-record-at-a-time runtime bit-for-bit.
   std::uint32_t node_concurrency = 1;
 
+  /// Resource lock/overlay granularity (the contended-fleet fast path).
+  /// `instance` reproduces the classic one-exclusive-lock-per-resource
+  /// envelope bit for bit; `per_key` lets step transactions with disjoint
+  /// declared key-sets (per account, per item, per mailbox slot, ...) run
+  /// concurrently against ONE instance — conflicts only arise on
+  /// overlapping keys, so contended fleets scale with node_concurrency.
+  resource::LockGranularity lock_granularity =
+      resource::LockGranularity::instance;
+
+  /// Group commit: local step-transaction commits enter a queue that is
+  /// flushed — participants applied, one metered stable-storage sync,
+  /// callbacks — once this many commits are pending or after
+  /// group_commit_flush_us. Amortizes the per-commit sync across the
+  /// slots of a busy node (syncs/step < 1); 1 syncs every commit.
+  std::uint32_t group_commit_window = 1;
+  sim::TimeUs group_commit_flush_us = 100;
+
   /// Incremental durability (the Sec. 4.2 transition-logging idea applied
   /// to the commit path itself): when an agent's next step runs on the
   /// SAME node, commit only a delta — the step's appended log entries and
@@ -75,6 +93,12 @@ struct PlatformConfig {
   /// after this many delta segments (bounds recovery replay length and
   /// stale-segment space). Minimum 1.
   std::uint32_t compaction_interval_steps = 32;
+  /// Bytes-ratio compaction: additionally compact once the accumulated
+  /// delta bytes exceed this ratio of the base image, which keeps the
+  /// record-area footprint proportional to the agent (amortized-flat)
+  /// instead of rewriting on a fixed cadence. 0 disables the ratio
+  /// policy; compaction_interval_steps always remains the hard cap.
+  double compaction_ratio = 0.0;
 
   /// Write savepoints automatically when entering sub-itineraries and
   /// garbage-collect / discard per Sec. 4.4.2.

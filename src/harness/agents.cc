@@ -121,6 +121,34 @@ void WorkloadAgent::run_step(const std::string& step,
     return;
   }
 
+  // Contention workload (A6): a deposit into an account drawn per step
+  // from the pre-assigned "hot_accounts" sequence. Under per-key locking,
+  // concurrent slots conflict only when their draws collide on one
+  // account; under instance locking every pair conflicts.
+  if (step == "bank_hot") {
+    const Value& cfg = data().weak("trigger");
+    MAR_CHECK_MSG(cfg.has("hot_accounts") &&
+                      !cfg.at("hot_accounts").as_list().empty(),
+                  "bank_hot needs a non-empty hot_accounts list");
+    const auto& accounts = cfg.at("hot_accounts").as_list();
+    const auto idx =
+        static_cast<std::size_t>(visits.as_int() - 1) % accounts.size();
+    const std::string account = "a" + std::to_string(accounts[idx].as_int());
+    std::int64_t amount = 1;
+    if (cfg.has("hot_amounts")) {
+      const auto& amounts = cfg.at("hot_amounts").as_list();
+      amount = amounts[idx % amounts.size()].as_int();
+    }
+    auto r = ctx.invoke("bank", "deposit",
+                        params({{"account", Value(account)},
+                                {"amount", Value(amount)}}));
+    if (!r.is_ok()) return;  // e.g. lock conflict: platform restarts us
+    ctx.log_resource_compensation(
+        "bank", "comp.withdraw",
+        params({{"account", Value(account)}, {"amount", Value(amount)}}));
+    return;
+  }
+
   if (step == "collect") {
     auto r = ctx.invoke("dir", "lookup", params({{"key", Value("info")}}));
     if (r.is_ok()) {

@@ -17,6 +17,12 @@ namespace mar::harness {
 ///   noop       only bumps the visit counter
 ///   work       charges `work_ops` (default 1) service-time units without
 ///              touching any resource: lock-free, contention-free load
+///   bank_hot   deposits 1 into the bank account named by the next entry
+///              of the "hot_accounts" config list (round-robin by visit;
+///              optional "hot_amounts" list overrides the amount) and logs
+///              the matching withdraw as RCE — the A6 contention workload:
+///              under per-key locking two agents conflict only when their
+///              draws collide on the same account
 ///   spend_logged  weak "cash" -= 1 plus one ACE padded to `param_bytes`;
 ///              no resource access — the A5 steady-state durability load
 ///   spend_cash weak "cash" -= 25, agent compensation entry only
@@ -68,6 +74,11 @@ class WorkloadAgent final : public agent::Agent {
   /// grow_strong). Call after set_trigger (shares the same config map).
   void set_config(const std::string& key, std::int64_t value) {
     data().weak("trigger").set(key, value);
+  }
+  /// Structured config (lists, maps) for the parameterized bench steps,
+  /// e.g. the "hot_accounts" draw sequence of bank_hot.
+  void set_config_value(const std::string& key, serial::Value value) {
+    data().weak("trigger").set(key, std::move(value));
   }
 
  private:

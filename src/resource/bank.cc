@@ -8,6 +8,25 @@ Value Bank::initial_state() const {
   return state;
 }
 
+KeySet Bank::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map()) return KeySet::whole();
+  const auto acct_key = [&params](std::string_view field) {
+    return "accounts/" + params.at(field).as_string();
+  };
+  const bool has_acct = params.has("account") && params.at("account").is_string();
+  if ((op == "open" || op == "deposit" || op == "withdraw") && has_acct) {
+    return KeySet().write(acct_key("account"));
+  }
+  if (op == "balance" && has_acct) {
+    return KeySet().read(acct_key("account"));
+  }
+  if (op == "transfer" && params.has("from") && params.at("from").is_string() &&
+      params.has("to") && params.at("to").is_string()) {
+    return KeySet().write(acct_key("from")).write(acct_key("to"));
+  }
+  return KeySet::whole();
+}
+
 std::int64_t Bank::balance_in(const Value& state, const std::string& account) {
   return state.at("accounts").at(account).at("balance").as_int();
 }

@@ -23,6 +23,10 @@ class Bank final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "bank"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-account keys: "accounts/<id>" — two transactions on different
+  /// accounts never conflict under per-key locking.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 

@@ -15,6 +15,29 @@ Value Exchange::initial_state() const {
   return state;
 }
 
+KeySet Exchange::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map() || !params.has("from") ||
+      !params.at("from").is_string() || !params.has("to") ||
+      !params.at("to").is_string()) {
+    return KeySet::whole();
+  }
+  const auto& from = params.at("from").as_string();
+  const auto& to = params.at("to").as_string();
+  if (op == "set_rate") {
+    // Installs the pair and its inverse.
+    return KeySet()
+        .write("rates/" + from + "/" + to)
+        .write("rates/" + to + "/" + from);
+  }
+  if (op == "rate") return KeySet().read("rates/" + from + "/" + to);
+  if (op == "convert") {
+    return KeySet()
+        .read("rates/" + from + "/" + to)
+        .write("volume/" + from + "/" + to);
+  }
+  return KeySet::whole();
+}
+
 Result<Value> Exchange::invoke(std::string_view op, const Value& params,
                                Value& state) {
   if (op == "set_rate") {

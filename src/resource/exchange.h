@@ -22,6 +22,12 @@ class Exchange final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "exchange"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-pair keys: "rates/<from>/<to>" and "volume/<from>/<to>" (the sub
+  /// part of a unit may itself contain '/'). Conversions of different
+  /// pairs never conflict; conversions of the same pair share the rate
+  /// read but conflict on the pair's volume counter.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 

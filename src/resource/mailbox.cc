@@ -8,6 +8,17 @@ Value Mailbox::initial_state() const {
   return state;
 }
 
+KeySet Mailbox::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map() || !params.has("key") ||
+      !params.at("key").is_string()) {
+    return KeySet::whole();
+  }
+  const std::string unit = "slots/" + params.at("key").as_string();
+  if (op == "put" || op == "take") return KeySet().write(unit);
+  if (op == "peek" || op == "exists") return KeySet().read(unit);
+  return KeySet::whole();
+}
+
 Result<Value> Mailbox::invoke(std::string_view op, const Value& params,
                               Value& state) {
   Value& slots = state.as_map().at("slots");

@@ -22,6 +22,10 @@ class Mailbox final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "mailbox"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-slot keys: "slots/<key>" — deliveries into different mailbox
+  /// slots (e.g. result records of sibling children) never conflict.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 };

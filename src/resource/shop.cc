@@ -13,6 +13,37 @@ Value Shop::initial_state() const {
   return state;
 }
 
+KeySet Shop::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map()) return KeySet::whole();
+  const bool has_item = params.has("item") && params.at("item").is_string();
+  if (op == "restock" && has_item) {
+    return KeySet().write("items/" + params.at("item").as_string());
+  }
+  if (op == "stock" && has_item) {
+    return KeySet().read("items/" + params.at("item").as_string());
+  }
+  if (op == "buy" && has_item) {
+    return KeySet()
+        .write("items/" + params.at("item").as_string())
+        .write("next_order")
+        .write("orders");
+  }
+  if (op == "cancel") {
+    // The order record names the item, so the item touched is unknown
+    // before execution: lock both keyed slots wholesale, plus the policy
+    // fields the refund computation reads.
+    return KeySet()
+        .write("orders")
+        .write("items")
+        .read("cancel_fee")
+        .read("cash_window");
+  }
+  if (op == "set_policy") {
+    return KeySet().write("cancel_fee").write("cash_window");
+  }
+  return KeySet::whole();
+}
+
 Result<Value> Shop::invoke(std::string_view op, const Value& params,
                            Value& state) {
   if (op == "restock") {

@@ -27,6 +27,12 @@ class Shop final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "shop"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-item keys ("items/<item>"); `buy` additionally serializes on the
+  /// order book ("orders", "next_order") it appends to, and `cancel` —
+  /// whose item is only known from the order record — on the whole item
+  /// and order slots.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 };

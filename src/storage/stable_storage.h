@@ -64,8 +64,9 @@ struct QueueRecord {
   [[nodiscard]] std::size_t byte_size() const;
 };
 
-/// Write metering, reported by the forward-overhead experiment (E8) and
-/// the steady-state durability experiment (A5).
+/// Write metering, reported by the forward-overhead experiment (E8), the
+/// steady-state durability experiment (A5) and the contention experiment
+/// (A6).
 struct StorageStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t kv_writes = 0;
@@ -73,6 +74,10 @@ struct StorageStats {
   /// Append-only record area: segment appends / full-image rewrites.
   std::uint64_t record_appends = 0;
   std::uint64_t record_resets = 0;
+  /// Metered stable-storage syncs. Each committing step transaction costs
+  /// one, unless the group-commit pipeline coalesces several commits of a
+  /// window into a single batch — then syncs/step drops below 1 (A6).
+  std::uint64_t sync_batches = 0;
 };
 
 class StableStorage {
@@ -115,6 +120,11 @@ class StableStorage {
   /// segment count - 1, which drives periodic compaction.
   [[nodiscard]] std::size_t record_segment_count(const std::string& key)
       const;
+
+  /// Force accumulated writes to disk (the fsync of the model): a pure
+  /// metering point — the kv/record/queue state is already applied when
+  /// this is called; sync marks where a real engine would pay the barrier.
+  void sync() { ++stats_.sync_batches; }
 
   // --- agent input queue ---------------------------------------------------
   /// Append a record. Duplicate record_ids are ignored (exactly-once).

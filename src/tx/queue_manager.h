@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -45,13 +46,20 @@ class QueueManager final : public Participant {
   // inside its own transaction, and either commits (the staged remove
   // consumes the record) or releases the claim so a later slot can retry.
   // Claims are volatile — a crash clears them along with the slots.
-  /// First queued record that is unclaimed and whose agent has no other
-  /// record in flight, in queue (FIFO) order; null when none is eligible.
+  /// The queued record the next free slot should work on: unclaimed, its
+  /// agent not in flight, chosen by an aged admission score. The score is
+  /// (claim releases − times passed over): strict FIFO while nothing
+  /// aborts, but a record whose claims keep being released after lock
+  /// conflicts no longer pins the queue head — records behind it are
+  /// admitted, and each bypass ages the passed-over record back towards
+  /// the front, so nothing starves. Null when none is eligible.
   [[nodiscard]] const storage::QueueRecord* next_eligible(
-      const std::unordered_set<AgentId>& busy_agents) const;
+      const std::unordered_set<AgentId>& busy_agents);
   /// Claim `record_id` for an execution slot. False if absent or taken.
   bool claim(std::uint64_t record_id);
-  /// Return a claimed record to the pool (abort / backoff path).
+  /// Return a claimed record to the pool (abort / backoff path). Counts
+  /// towards the record's admission score only while it is still queued
+  /// (terminal paths release after the record was consumed).
   void release(std::uint64_t record_id);
 
   // Participant interface.
@@ -89,6 +97,12 @@ class QueueManager final : public Participant {
 
   storage::StableStorage& stable_;
   std::map<TxId, Staged> staged_;
+  /// Aged-admission bookkeeping (volatile, like the claims): per record,
+  /// how often its claim was released after an abort, and how often a
+  /// younger record was admitted ahead of it. GC'd when the record is
+  /// consumed; cleared on crash.
+  std::unordered_map<std::uint64_t, std::uint32_t> releases_;
+  std::unordered_map<std::uint64_t, std::uint32_t> bypasses_;
 };
 
 }  // namespace mar::tx

@@ -109,8 +109,23 @@ void TxManager::commit_async(TxId tx, CommitCallback cb) {
     return;
   }
   if (c.remotes.empty()) {
-    commit_locals(tx);
-    finish(tx, c, true);
+    if (group_window_ <= 1) {
+      commit_locals(tx);
+      stable_.sync();
+      finish(tx, c, true);
+      return;
+    }
+    // Group commit: the outcome is decided (every local participant
+    // prepared), but the stable-storage apply, the metered sync and the
+    // callback wait for the window flush — several step transactions
+    // share one sync batch.
+    commit_queue_.emplace_back(tx, std::move(c.callback));
+    coords_.erase(tx);
+    if (commit_queue_.size() >= group_window_) {
+      flush_commit_group();
+    } else {
+      schedule_group_flush();
+    }
     return;
   }
   c.phase = Phase::preparing;
@@ -137,9 +152,45 @@ void TxManager::abort_tx(TxId tx) {
   decide_abort(tx, it->second);
 }
 
+void TxManager::flush_commit_group() {
+  // A direct (window-full) flush supersedes any armed flush timer: the
+  // generation bump keeps a later batch from inheriting the stale, now
+  // too-early deadline.
+  ++flush_gen_;
+  flush_pending_ = false;
+  if (commit_queue_.empty()) return;
+  auto batch = std::move(commit_queue_);
+  commit_queue_.clear();
+  for (auto& [tx, cb] : batch) {
+    (void)cb;
+    commit_locals(tx);
+  }
+  // One metered sync for the whole batch — the point of group commit.
+  // Within the (single-threaded) simulation the applies above are atomic
+  // w.r.t. crash events, so batching only moves the durable point, never
+  // splits a transaction.
+  stable_.sync();
+  for (auto& [tx, cb] : batch) {
+    (void)tx;
+    if (cb) cb(true);
+  }
+}
+
+void TxManager::schedule_group_flush() {
+  if (flush_pending_) return;
+  flush_pending_ = true;
+  const auto epoch = epoch_;
+  const auto gen = flush_gen_;
+  sim_.schedule_after(group_flush_us_, [this, epoch, gen] {
+    if (epoch != epoch_ || gen != flush_gen_) return;
+    flush_commit_group();
+  });
+}
+
 void TxManager::decide_commit(TxId tx, Coord& c) {
   persist_decision(tx, c.remotes);
   commit_locals(tx);
+  stable_.sync();
   c.phase = Phase::committing;
   c.acks_pending = c.remotes;
   for (const auto n : c.remotes) send(n, msg::commit, tx);
@@ -205,6 +256,7 @@ void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
   }
   if (ok) {
     persist_prepared_marker(tx);
+    stable_.sync();  // durable before the YES vote leaves this node
     in_doubt_.emplace(tx, coordinator);
     schedule_inquiry(tx);
   }
@@ -213,6 +265,7 @@ void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
 
 void TxManager::handle_commit(TxId tx, NodeId coordinator) {
   commit_locals(tx);
+  stable_.sync();
   in_doubt_.erase(tx);
   send(coordinator, msg::commit_ack, tx);
 }
@@ -234,6 +287,7 @@ void TxManager::handle_inquiry(TxId tx, NodeId from) {
 void TxManager::handle_decision(TxId tx, bool committed) {
   if (committed) {
     commit_locals(tx);
+    stable_.sync();
     in_doubt_.erase(tx);
     send(coordinator_of(tx), msg::commit_ack, tx);
   } else {
@@ -307,6 +361,11 @@ void TxManager::on_crash() {
   ++epoch_;
   coords_.clear();
   in_doubt_.clear();
+  // Queued-but-unflushed group commits die with the crash: nothing was
+  // applied, so recovery presumed-aborts them from their prepared markers
+  // and their records stay queued (restartability).
+  commit_queue_.clear();
+  flush_pending_ = false;
   for (auto* p : participants_) p->on_crash();
 }
 
@@ -350,6 +409,7 @@ void TxManager::on_recover() {
     c.phase = Phase::committing;
     c.acks_pending = c.remotes;
     commit_locals(tx);
+    stable_.sync();
     for (const auto node : c.remotes) send(node, msg::commit, tx);
     auto [it, inserted] = coords_.emplace(tx, std::move(c));
     MAR_CHECK(inserted);
@@ -371,7 +431,9 @@ void TxManager::on_recover() {
 }
 
 bool TxManager::idle() const {
-  if (!coords_.empty() || !in_doubt_.empty()) return false;
+  if (!coords_.empty() || !in_doubt_.empty() || !commit_queue_.empty()) {
+    return false;
+  }
   return stable_.keys_with_prefix("txdec:").empty() &&
          stable_.keys_with_prefix("txprep:").empty();
 }

@@ -147,6 +147,61 @@ TEST(StableStorageTest, ForEachWithPrefixVisitsInOrder) {
   EXPECT_EQ(seen[1], "a:2=2");
 }
 
+TEST(QueueManagerTest, FifoOfferWhileNothingAborts) {
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.enqueue(record(1, 1));
+  s.enqueue(record(2, 2));
+  std::unordered_set<AgentId> busy;
+  // Classic behaviour: first unclaimed, non-busy record in queue order.
+  ASSERT_NE(qm.next_eligible(busy), nullptr);
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 1u);
+  ASSERT_TRUE(qm.claim(1));
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 2u);
+  busy.insert(AgentId(2));
+  EXPECT_EQ(qm.next_eligible(busy), nullptr);
+}
+
+TEST(QueueManagerTest, AgedAdmissionUnpinsAbortedHeadWithoutStarvingIt) {
+  // A repeatedly conflict-aborted record must not pin the queue head:
+  // records behind it are admitted first, and every bypass ages the
+  // passed-over record back towards admission (bounded bypassing).
+  StableStorage s;
+  tx::QueueManager qm(s);
+  s.enqueue(record(1, 1));
+  s.enqueue(record(2, 2));
+  s.enqueue(record(3, 3));
+  std::unordered_set<AgentId> busy;
+
+  // Record 1 is claimed and aborted twice (released while still queued).
+  ASSERT_EQ(qm.next_eligible(busy)->record_id, 1u);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(qm.claim(1));
+    qm.release(1);
+  }
+  // The aged score now admits the fresher records ahead of the head...
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 2u);
+  ASSERT_TRUE(qm.claim(2));
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 3u);
+  ASSERT_TRUE(qm.claim(3));
+  // ...and with everything else claimed, the aborted head is re-offered.
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 1u);
+  qm.release(2);
+  qm.release(3);
+  // Each bypass aged record 1 (2 releases − 2 bypasses = 0), while 2 and
+  // 3 were each released once: the aged head is back in front — bounded
+  // bypassing, no starvation.
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 1u);
+
+  // Terminal release (after the record was consumed) must not count.
+  const TxId tx(100);
+  qm.stage_remove(tx, 1);
+  EXPECT_TRUE(qm.prepare(tx));
+  qm.commit(tx);
+  qm.release(1);  // release_slot on the commit path: record already gone
+  EXPECT_EQ(qm.next_eligible(busy)->record_id, 2u);
+}
+
 TEST(QueueManagerTest, CommitAppliesStagedOps) {
   StableStorage s;
   tx::QueueManager qm(s);
