@@ -52,6 +52,12 @@ FleetResult run_fleet(int fleet, std::uint32_t concurrency, bool contended,
                       std::uint64_t seed) {
   agent::PlatformConfig cfg;
   cfg.node_concurrency = concurrency;
+  // A4 measures the slotted scheduler against the CLASSIC envelope —
+  // exact serialized makespans, and instance-lock conflicts as the
+  // contention signal — so the newer defaults (per-key locking, group
+  // commit) are pinned off; A6/A7 sweep those knobs deliberately.
+  cfg.lock_granularity = resource::LockGranularity::instance;
+  cfg.group_commit_window = 1;
   TestWorld w(cfg, /*node_count=*/1, seed);
   harness::register_workload(w.platform);
   w.publish(1, "info", serial::Value("x"));

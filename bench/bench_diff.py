@@ -38,7 +38,7 @@ def is_number(v):
 ID_FIELDS = {
     "age", "fleet", "steps", "measured_steps", "node_concurrency",
     "param_bytes", "seed", "seed_index", "oldest_age",
-    "group_commit_window",
+    "group_commit_window", "ship_convoy_window", "measured_hops", "hops",
 }
 
 # Deterministic health metrics: an *increase* beyond the tolerance fails
@@ -49,6 +49,11 @@ GATED_FIELDS = {
     "lock_conflict_aborts": (0.25, 4),
     "syncs_per_step": (0.10, 0.02),
     "sync_batches": (0.10, 4),
+    # A7 delta shipping: migration bytes per agent-hop and participant
+    # 2PC syncs per hop are pure virtual-time metrics — growth means the
+    # channel cache or the convoy/participant coalescing regressed.
+    "bytes_per_hop": (0.10, 64),
+    "syncs_per_hop": (0.10, 0.05),
 }
 
 

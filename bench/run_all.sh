@@ -30,6 +30,7 @@ BENCHES=(
   bench_a4_throughput
   bench_a5_steady_state
   bench_a6_contention
+  bench_a7_shipping
   bench_micro_codec
 )
 
@@ -53,8 +54,19 @@ for bench in "${BENCHES[@]}"; do
     echo "--- $bench: FAILED (exit $rc)" >&2
     failed+=("$bench")
   fi
+  # A binary that died before writing its report — or mid-write, leaving
+  # a truncated file — must still contribute an {"ok": false} row instead
+  # of poisoning (or silently vanishing from) the consolidated report.
+  valid=1
   if [[ ! -s "$tmpdir/$bench.json" ]]; then
-    # The binary died before writing its report; synthesize a failure row.
+    valid=0
+  elif command -v python3 >/dev/null 2>&1 \
+      && ! python3 -m json.tool "$tmpdir/$bench.json" >/dev/null 2>&1; then
+    echo "--- $bench: malformed JSON report, replacing with ok:false" >&2
+    if [[ $rc -eq 0 ]]; then failed+=("$bench"); fi
+    valid=0
+  fi
+  if [[ $valid -eq 0 ]]; then
     printf '{"bench": "%s", "ok": false, "rows": []}\n' "${bench#bench_}" \
       > "$tmpdir/$bench.json"
   fi

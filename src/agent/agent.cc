@@ -133,6 +133,28 @@ namespace {
 constexpr std::uint8_t kSparseSlots = 0;
 constexpr std::uint8_t kFullMap = 1;
 
+/// The delta record's platform-field header (everything above the data
+/// sections), shared by both delta encoders so the wire format cannot
+/// drift between them; apply_agent_delta is the single decoder.
+/// `next_sp` is passed in because the helper is not a friend of Agent.
+void encode_delta_header(serial::Encoder& enc, const Agent& agent,
+                         std::uint32_t next_sp, bool sp_changed) {
+  enc.write_u8(static_cast<std::uint8_t>(agent.run_state()));
+  enc.write_varint(agent.position().size());
+  for (const auto i : agent.position()) enc.write_u32(i);
+  enc.write_varint(agent.savepoint_stack().size());
+  for (const auto& e : agent.savepoint_stack()) e.serialize(enc);
+  enc.write_u32(next_sp);
+  enc.write_u32(agent.rollbacks_completed());
+  enc.write_u64(agent.parent().value());
+  enc.write_u32(agent.result_node().value());
+  enc.write_string(agent.result_key());
+  enc.write_bool(agent.retain_full_log());
+  enc.write_bool(agent.force_full_savepoint());
+  enc.write_bool(sp_changed);
+  if (sp_changed) agent.last_savepoint_strong().serialize(enc);
+}
+
 void encode_data_section(serial::Encoder& enc, const serial::Value& map,
                          const std::set<std::string>& dirty, bool all_dirty) {
   if (all_dirty) {
@@ -155,20 +177,7 @@ serial::Bytes encode_agent_delta(const Agent& agent) {
   MAR_CHECK_MSG(agent.delta_ready(),
                 "agent changes are not append-only; a full image is due");
   serial::Encoder enc;
-  enc.write_u8(static_cast<std::uint8_t>(agent.run_state_));
-  enc.write_varint(agent.position_.size());
-  for (const auto i : agent.position_) enc.write_u32(i);
-  enc.write_varint(agent.sp_stack_.size());
-  for (const auto& e : agent.sp_stack_) e.serialize(enc);
-  enc.write_u32(agent.next_sp_);
-  enc.write_u32(agent.rollbacks_completed_);
-  enc.write_u64(agent.parent_.value());
-  enc.write_u32(agent.result_node_.value());
-  enc.write_string(agent.result_key_);
-  enc.write_bool(agent.retain_full_log_);
-  enc.write_bool(agent.force_full_sp_);
-  enc.write_bool(agent.last_sp_dirty_);
-  if (agent.last_sp_dirty_) agent.last_sp_strong_.serialize(enc);
+  encode_delta_header(enc, agent, agent.next_sp_, agent.last_sp_dirty_);
   const auto& data = agent.data_;
   encode_data_section(enc, data.strong_image(), data.dirty_strong(),
                       data.strong_all_dirty());
@@ -230,6 +239,58 @@ void apply_agent_delta(Agent& agent, std::span<const std::uint8_t> delta) {
   }
   dec.expect_end();
   agent.mark_commit_baseline();  // now bit-identical to the durable state
+}
+
+std::optional<serial::Bytes> encode_agent_delta_between(const Agent& base,
+                                                        const Agent& cur) {
+  // The delta format carries appended log entries only: usable iff the
+  // base's log is a strict prefix of the current log. Forward execution
+  // only pushes, so this holds across any number of committed steps; a
+  // rollback (pop/clear/GC) in between breaks it and forces a full image.
+  const auto& base_log = base.log_.entries();
+  const auto& cur_log = cur.log_.entries();
+  if (cur_log.size() < base_log.size()) return std::nullopt;
+  for (std::size_t i = 0; i < base_log.size(); ++i) {
+    if (!(base_log[i] == cur_log[i])) return std::nullopt;
+  }
+  // The itinerary is immutable after launch and lives in the base image
+  // only; everything else is diffed or carried whole.
+  serial::Encoder enc;
+  encode_delta_header(enc, cur, cur.next_sp_,
+                      !(base.last_sp_strong_ == cur.last_sp_strong_));
+  // Data sections: sparse slots that differ from the base; a slot removed
+  // from the base degrades the section to a full map (the sparse form can
+  // only add/overwrite).
+  const auto encode_diff_section = [&enc](const Value& base_map,
+                                          const Value& cur_map) {
+    for (const auto& [name, v] : base_map.as_map()) {
+      (void)v;
+      if (!cur_map.has(name)) {
+        enc.write_u8(kFullMap);
+        cur_map.serialize(enc);
+        return;
+      }
+    }
+    std::vector<const std::string*> changed;
+    for (const auto& [name, v] : cur_map.as_map()) {
+      if (!base_map.has(name) || !(base_map.at(name) == v)) {
+        changed.push_back(&name);
+      }
+    }
+    enc.write_u8(kSparseSlots);
+    enc.write_varint(changed.size());
+    for (const auto* name : changed) {
+      enc.write_string(*name);
+      cur_map.at(*name).serialize(enc);
+    }
+  };
+  encode_diff_section(base.data_.strong_image(), cur.data_.strong_image());
+  encode_diff_section(base.data_.weak_image(), cur.data_.weak_image());
+  enc.write_varint(cur_log.size() - base_log.size());
+  for (std::size_t i = base_log.size(); i < cur_log.size(); ++i) {
+    cur_log[i].serialize(enc);
+  }
+  return std::move(enc).take();
 }
 
 std::unique_ptr<Agent> decode_agent_segments(

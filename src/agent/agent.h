@@ -14,6 +14,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "agent/data_space.h"
@@ -176,6 +178,8 @@ class Agent : public serial::Serializable {
   friend serial::Bytes encode_agent_delta(const Agent& agent);
   friend void apply_agent_delta(Agent& agent,
                                 std::span<const std::uint8_t> delta);
+  friend std::optional<serial::Bytes> encode_agent_delta_between(
+      const Agent& base, const Agent& cur);
 };
 
 /// Registry of agent types shared by all nodes (code availability).
@@ -202,6 +206,14 @@ using AgentTypeRegistry = serial::TypeRegistry<Agent>;
 
 /// Capture the changes since the last baseline as a delta record.
 [[nodiscard]] serial::Bytes encode_agent_delta(const Agent& agent);
+/// Diff two captures of the SAME agent (delta-shipping migrations): a
+/// delta in the apply_agent_delta format transforming `base` into `cur`,
+/// or nullopt when `cur`'s rollback log does not extend `base`'s (a
+/// rollback ran in between) — the caller ships a full image instead.
+/// Unlike encode_agent_delta this needs no dirty tracking: the data
+/// sections are diffed slot by slot against the base.
+[[nodiscard]] std::optional<serial::Bytes> encode_agent_delta_between(
+    const Agent& base, const Agent& cur);
 /// Apply a delta produced by encode_agent_delta to the predecessor state.
 void apply_agent_delta(Agent& agent, std::span<const std::uint8_t> delta);
 /// Reconstruct an agent from its stable record: segments[0] is a full

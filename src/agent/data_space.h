@@ -45,7 +45,7 @@ class DataSpace {
   [[nodiscard]] const Value& weak(std::string_view name) const;
 
   /// Physical before-image of all strong slots (savepoint data).
-  [[nodiscard]] Value strong_image() const { return strong_; }
+  [[nodiscard]] const Value& strong_image() const { return strong_; }
   /// Restore all strong slots from a savepoint image.
   void restore_strong(Value image);
 

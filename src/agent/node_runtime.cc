@@ -18,9 +18,13 @@ using storage::RecordKind;
 
 NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
     : p_(platform), id_(id), qm_(storage_), rm_(storage_),
-      txm_(id, platform.sim(), platform.net(), storage_) {
+      txm_(id, platform.sim(), platform.net(), storage_),
+      ship_(platform, id, txm_, qm_, storage_) {
   txm_.register_participant(qm_);
   txm_.register_participant(rm_);
+  txm_.set_apply_listener([this] {
+    if (up_) pump();
+  });
   rm_.set_granularity(platform.config().lock_granularity);
   txm_.set_group_commit(platform.config().group_commit_window,
                         platform.config().group_commit_flush_us);
@@ -308,10 +312,10 @@ void NodeRuntime::on_node_state(bool up) {
   busy_agents_.clear();
   resident_.clear();  // volatile cache; recovery decodes from the record area
   storage_.clear_claims();
-  stage_waiters_.clear();
   rce_waiters_.clear();
   mce_waiters_.clear();
   rpc_waiters_.clear();
+  ship_.on_node_state(up);
   if (up) {
     txm_.on_recover();
     pump();
@@ -330,31 +334,17 @@ void NodeRuntime::handle_message(const net::Message& m) {
     pump();  // a tx.commit may have delivered a queue record
     return;
   }
+  if (m.type == ship::msg::convoy) {
+    // A remote coordinator's convoy stages agent transfers into our queue
+    // (full images or deltas against the channel cache).
+    ship_.on_convoy(m);
+    return;
+  }
+  if (m.type == ship::msg::convoy_ack) {
+    ship_.on_convoy_ack(m);
+    return;
+  }
   serial::Decoder dec(m.payload);
-  if (m.type == msg::agent_stage) {
-    // A remote coordinator stages an agent transfer into our queue.
-    const TxId tx(dec.read_u64());
-    QueueRecord rec;
-    rec.deserialize(dec);
-    txm_.note_remote_staged(tx);
-    qm_.stage_enqueue(tx, std::move(rec));
-    serial::Encoder enc;
-    enc.write_u64(tx.value());
-    enc.write_bool(true);
-    p_.net().send(net::Message{id_, m.from, msg::agent_stage_ack,
-                               std::move(enc).take()});
-    return;
-  }
-  if (m.type == msg::agent_stage_ack) {
-    const TxId tx(dec.read_u64());
-    const bool ok = dec.read_bool();
-    auto it = stage_waiters_.find(tx);
-    if (it == stage_waiters_.end()) return;  // timed out / duplicate
-    auto cb = std::move(it->second);
-    stage_waiters_.erase(it);
-    cb(ok);
-    return;
-  }
   if (m.type == msg::rce_exec) {
     // Shipped resource compensation entries (optimized algorithm): run
     // them here inside the coordinator's compensation transaction.
@@ -485,32 +475,19 @@ void NodeRuntime::stage_and_commit(TxId tx, NodeId dest, QueueRecord record,
     txm_.commit_async(tx, std::move(done));
     return;
   }
+  // Remote staging rides the destination's convoy: the shipment manager
+  // batches transfers, delta-ships against the channel cache and handles
+  // full-image fallback and timeouts; we only see the final outcome.
   txm_.enlist_remote(tx, dest);
-  serial::Encoder enc;
-  enc.write_u64(tx.value());
-  record.serialize(enc);
-  const auto wire_bytes = enc.size();
-  p_.net().send(
-      net::Message{id_, dest, msg::agent_stage, std::move(enc).take()});
-  stage_waiters_[tx] = [this, tx, done](bool ok) {
-    if (!ok) {
-      txm_.abort_tx(tx);
-      done(false);
-      return;
-    }
-    txm_.commit_async(tx, done);
-  };
-  if (p_.config().stage_timeout_us > 0) {
-    const auto timeout = p_.config().stage_timeout_us +
-                         4 * p_.net().transfer_time(id_, dest, wire_bytes);
-    after(timeout, [this, tx] {
-      auto it = stage_waiters_.find(tx);
-      if (it == stage_waiters_.end()) return;
-      auto cb = std::move(it->second);
-      stage_waiters_.erase(it);
-      cb(false);
-    });
-  }
+  ship_.stage_remote(tx, dest, std::move(record),
+                     [this, tx, done = std::move(done)](bool ok) {
+                       if (!ok) {
+                         txm_.abort_tx(tx);
+                         done(false);
+                         return;
+                       }
+                       txm_.commit_async(tx, done);
+                     });
 }
 
 void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {

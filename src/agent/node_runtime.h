@@ -36,16 +36,15 @@
 #include "agent/platform.h"
 #include "agent/step_context.h"
 #include "resource/resource_manager.h"
+#include "ship/shipment_manager.h"
 #include "storage/stable_storage.h"
 #include "tx/queue_manager.h"
 #include "tx/tx_manager.h"
 
 namespace mar::agent {
 
-/// Platform message type tags (beyond tx.*).
+/// Platform message type tags (beyond tx.* and ship.*).
 namespace msg {
-inline constexpr const char* agent_stage = "agent.stage";
-inline constexpr const char* agent_stage_ack = "agent.stage_ack";
 inline constexpr const char* rce_exec = "rce.exec";
 inline constexpr const char* rce_ack = "rce.ack";
 /// Adaptive strategy (Sec. 4.4.1 "further optimizations"): a mixed step's
@@ -63,6 +62,7 @@ class NodeRuntime {
   [[nodiscard]] storage::StableStorage& storage() { return storage_; }
   [[nodiscard]] resource::ResourceManager& resources() { return rm_; }
   [[nodiscard]] tx::TxManager& txm() { return txm_; }
+  [[nodiscard]] ship::ShipmentManager& shipments() { return ship_; }
 
   /// Network handler entry point (registered by the Platform).
   void handle_message(const net::Message& m);
@@ -228,6 +228,9 @@ class NodeRuntime {
   tx::QueueManager qm_;
   resource::ResourceManager rm_;
   tx::TxManager txm_;
+  /// Owns all inter-node agent transfer: per-destination convoys, the
+  /// base+delta channel caches, need_full fallback (src/ship/).
+  ship::ShipmentManager ship_;
 
   bool up_ = true;
   std::uint64_t epoch_ = 0;
@@ -246,8 +249,7 @@ class NodeRuntime {
   /// that leaves the steady local-commit loop; the record area stays
   /// authoritative.
   std::unordered_map<AgentId, std::shared_ptr<Agent>> resident_;
-  /// Continuations waiting for agent.stage_ack / rce.ack, keyed by tx.
-  std::unordered_map<TxId, std::function<void(bool)>> stage_waiters_;
+  /// Continuations waiting for rce.ack, keyed by tx.
   std::unordered_map<TxId, std::function<void(bool)>> rce_waiters_;
   /// Continuations waiting for mce.ack; receive the updated weak-state
   /// snapshot produced by the remotely executed mixed compensation.

@@ -70,16 +70,45 @@ struct PlatformConfig {
   /// declared key-sets (per account, per item, per mailbox slot, ...) run
   /// concurrently against ONE instance — conflicts only arise on
   /// overlapping keys, so contended fleets scale with node_concurrency.
+  /// Per-key is the default since undeclared operations fall back to
+  /// whole-instance locking (always correct); `instance` remains available
+  /// (and tested) as the classic envelope.
   resource::LockGranularity lock_granularity =
-      resource::LockGranularity::instance;
+      resource::LockGranularity::per_key;
 
   /// Group commit: local step-transaction commits enter a queue that is
   /// flushed — participants applied, one metered stable-storage sync,
   /// callbacks — once this many commits are pending or after
   /// group_commit_flush_us. Amortizes the per-commit sync across the
-  /// slots of a busy node (syncs/step < 1); 1 syncs every commit.
-  std::uint32_t group_commit_window = 1;
+  /// slots of a busy node (syncs/step < 1); 1 syncs every commit. A
+  /// window > 1 also coalesces PARTICIPANT-side 2PC work: prepares and
+  /// commit-applies arriving within the window share one metered sync
+  /// each (votes/acks leave only after the batched sync), with
+  /// crash-before-flush presuming abort exactly like the local queue.
+  std::uint32_t group_commit_window = 4;
   sim::TimeUs group_commit_flush_us = 100;
+
+  // --- delta-shipping migrations (src/ship/) --------------------------------
+  /// Ship migrations between a node pair as base+delta: each (src, dst)
+  /// transfer channel caches the last full image shipped per agent
+  /// (epoch- and hash-tagged); subsequent migrations of that agent over
+  /// the same pair ship only the delta against the cached base, with
+  /// automatic fallback to a full image on cache miss, receiver epoch
+  /// mismatch, base-hash divergence or an unprofitable delta. false
+  /// ships every migration as a full image (the classic path).
+  bool ship_delta = true;
+  /// Per-node byte budget of each shipment cache side (send channels,
+  /// receive channels); least-recently-used bases are evicted beyond it.
+  std::size_t ship_cache_bytes = 4u << 20;
+  /// Ship a delta only while delta/full-image size stays below this
+  /// ratio; larger deltas fall back to (and re-establish) the base.
+  double ship_delta_max_ratio = 0.5;
+  /// Convoy batching: remote stages decided toward the same destination
+  /// within this window ride ONE convoy message (and their participant
+  /// 2PC syncs coalesce, see group_commit_window). 1 sends immediately.
+  std::uint32_t ship_convoy_window = 1;
+  /// How long a convoy waits for further riders after its first entry.
+  sim::TimeUs ship_convoy_flush_us = 200;
 
   /// Incremental durability (the Sec. 4.2 transition-logging idea applied
   /// to the commit path itself): when an agent's next step runs on the

@@ -8,6 +8,26 @@ Value Directory::initial_state() const {
   return state;
 }
 
+KeySet Directory::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map()) return KeySet::whole();
+  const bool has_key = params.has("key") && params.at("key").is_string();
+  const auto entry_key = [&params] {
+    return "entries/" + params.at("key").as_string();
+  };
+  if ((op == "publish" || op == "remove") && has_key) {
+    return KeySet().write(entry_key());
+  }
+  if (op == "lookup" && has_key) {
+    return KeySet().read(entry_key());
+  }
+  if (op == "list") {
+    // Scans every entry: a shared read of the whole slot (conflicts only
+    // with concurrent writers, not with other readers).
+    return KeySet().read("entries");
+  }
+  return KeySet::whole();
+}
+
 Result<Value> Directory::invoke(std::string_view op, const Value& params,
                                 Value& state) {
   Value& entries = state.as_map().at("entries");

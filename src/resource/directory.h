@@ -22,6 +22,12 @@ class Directory final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "directory"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-entry keys: "entries/<key>" for publish/lookup/remove, a shared
+  /// read of the whole "entries" slot for list (it scans every entry).
+  /// Two agents publishing under different keys never conflict under
+  /// per-key locking — the read-mostly directory stops serializing.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 };

@@ -9,6 +9,28 @@ Value Mint::initial_state() const {
   return state;
 }
 
+KeySet Mint::key_set(std::string_view op, const Value& params) const {
+  if (!params.is_map()) return KeySet::whole();
+  if (op == "issue") {
+    // Fresh serials come from the shared counter; the coins written are
+    // unknowable before the invoke, so the whole live map is declared.
+    return KeySet().write("next_serial").write("live");
+  }
+  if (op == "redeem" && params.has("coins") && params.at("coins").is_list() &&
+      !params.at("coins").as_list().empty()) {
+    KeySet keys;
+    for (const auto& s : params.at("coins").as_list()) {
+      if (!s.is_int()) return KeySet::whole();
+      keys.write("live/" + std::to_string(s.as_int()));
+    }
+    return keys;
+  }
+  if (op == "verify" && params.has("serial") && params.at("serial").is_int()) {
+    return KeySet().read("live/" + std::to_string(params.at("serial").as_int()));
+  }
+  return KeySet::whole();
+}
+
 std::int64_t Mint::wallet_total(const Value& wallet) {
   std::int64_t total = 0;
   for (const auto& coin : wallet.as_list()) {

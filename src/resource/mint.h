@@ -23,6 +23,14 @@ class Mint final : public Resource {
  public:
   [[nodiscard]] std::string type_name() const override { return "mint"; }
   [[nodiscard]] Value initial_state() const override;
+  /// Per-coin keys: redeem/verify touch exactly the serials named in
+  /// their params ("live/<serial>"), so agents redeeming or verifying
+  /// disjoint wallets run concurrently. issue allocates fresh serials
+  /// from the shared counter, so it remains a wide write ("next_serial"
+  /// plus the whole "live" slot) — the parallelism win is redeem∥redeem
+  /// and redeem∥verify on disjoint coins.
+  [[nodiscard]] KeySet key_set(std::string_view op,
+                               const Value& params) const override;
   Result<Value> invoke(std::string_view op, const Value& params,
                        Value& state) override;
 

@@ -65,6 +65,9 @@ struct SavepointEntry {
   /// Itinerary position of the step to execute after restoring here.
   Position resume_position;
 
+  friend bool operator==(const SavepointEntry&, const SavepointEntry&) =
+      default;
+
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
   [[nodiscard]] std::size_t byte_size() const;
@@ -73,6 +76,9 @@ struct SavepointEntry {
 struct BeginOfStepEntry {
   NodeId node;
   std::string step_name;
+
+  friend bool operator==(const BeginOfStepEntry&, const BeginOfStepEntry&) =
+      default;
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
@@ -98,6 +104,9 @@ struct OperationEntry {
   NodeId resource_node;
   std::string resource;
 
+  friend bool operator==(const OperationEntry&, const OperationEntry&) =
+      default;
+
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
   [[nodiscard]] std::size_t byte_size() const;
@@ -114,6 +123,9 @@ struct EndOfStepEntry {
   /// Sec. 4.3 discussion: alternative nodes able to run the compensation
   /// if `node` is permanently unreachable (fault-tolerant extension).
   std::vector<NodeId> alternatives;
+
+  friend bool operator==(const EndOfStepEntry&, const EndOfStepEntry&) =
+      default;
 
   void serialize(serial::Encoder& enc) const;
   void deserialize(serial::Decoder& dec);
@@ -157,6 +169,12 @@ class LogEntry {
   }
   [[nodiscard]] const EndOfStepEntry& end_of_step() const {
     return std::get<EndOfStepEntry>(body_);
+  }
+
+  /// Structural equality (delta-shipping uses it to verify that a cached
+  /// base image's log is a prefix of the current log).
+  friend bool operator==(const LogEntry& a, const LogEntry& b) {
+    return a.body_ == b.body_;
   }
 
   void serialize(serial::Encoder& enc) const;

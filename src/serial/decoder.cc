@@ -74,6 +74,14 @@ std::string_view Decoder::read_string_view() {
   return s;
 }
 
+std::span<const std::uint8_t> Decoder::read_bytes_view() {
+  const auto n = read_varint();
+  need(n);
+  const auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
 std::vector<std::uint8_t> Decoder::read_bytes() {
   const auto n = read_varint();
   need(n);

@@ -39,6 +39,11 @@ class Decoder {
   /// looked up immediately), this skips the per-read allocation.
   std::string_view read_string_view();
   std::vector<std::uint8_t> read_bytes();
+  /// Zero-copy blob read: the returned span aliases the decode buffer and
+  /// is valid only while that buffer lives. Convoy framing uses this to
+  /// hand nested payloads (agent images, deltas) to their own decoders
+  /// without copying them out of the message first.
+  std::span<const std::uint8_t> read_bytes_view();
   /// A collection length prefix. Every element costs at least one byte on
   /// the wire, so a count exceeding the remaining buffer is malformed —
   /// checked HERE, before the caller sizes a container from it (a flipped

@@ -78,6 +78,12 @@ struct StorageStats {
   /// one, unless the group-commit pipeline coalesces several commits of a
   /// window into a single batch — then syncs/step drops below 1 (A6).
   std::uint64_t sync_batches = 0;
+  /// Delta-shipped migrations (A7): payload bytes that arrived over the
+  /// wire at this node vs. full-image bytes materialized locally from a
+  /// cached base plus the shipped delta. reconstructed > received is the
+  /// bandwidth the shipment cache saved the network.
+  std::uint64_t ship_bytes_received = 0;
+  std::uint64_t ship_bytes_reconstructed = 0;
 };
 
 class StableStorage {
@@ -125,6 +131,14 @@ class StableStorage {
   /// metering point — the kv/record/queue state is already applied when
   /// this is called; sync marks where a real engine would pay the barrier.
   void sync() { ++stats_.sync_batches; }
+
+  /// Meter one inbound shipment: `received` payload bytes on the wire
+  /// became `reconstructed` full-image bytes in the staged record (equal
+  /// for full-image frames, received << reconstructed for deltas).
+  void note_shipment(std::size_t received, std::size_t reconstructed) {
+    stats_.ship_bytes_received += received;
+    stats_.ship_bytes_reconstructed += reconstructed;
+  }
 
   // --- agent input queue ---------------------------------------------------
   /// Append a record. Duplicate record_ids are ignored (exactly-once).

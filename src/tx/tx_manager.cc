@@ -239,6 +239,21 @@ void TxManager::note_remote_staged(TxId tx) {
 }
 
 void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
+  if (group_window_ > 1) {
+    // Participant-side group commit: the prepare work (and its sync)
+    // waits for the batch flush; the vote leaves with it. Convoyed agent
+    // transfers arrive together, so their prepares share one barrier.
+    const auto queued = std::any_of(
+        prepare_queue_.begin(), prepare_queue_.end(),
+        [tx](const PendingPart& p) { return p.tx == tx; });
+    if (!queued) prepare_queue_.push_back(PendingPart{tx, coordinator});
+    if (prepare_queue_.size() + apply_queue_.size() >= group_window_) {
+      flush_participant_group();
+    } else {
+      schedule_participant_flush();
+    }
+    return;
+  }
   bool any = false;
   bool ok = true;
   for (auto* p : participants_) {
@@ -257,6 +272,7 @@ void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
   if (ok) {
     persist_prepared_marker(tx);
     stable_.sync();  // durable before the YES vote leaves this node
+    ++participant_syncs_;
     in_doubt_.emplace(tx, coordinator);
     schedule_inquiry(tx);
   }
@@ -264,10 +280,87 @@ void TxManager::handle_prepare(TxId tx, NodeId coordinator) {
 }
 
 void TxManager::handle_commit(TxId tx, NodeId coordinator) {
+  if (group_window_ > 1) {
+    const auto queued = std::any_of(
+        apply_queue_.begin(), apply_queue_.end(),
+        [tx](const PendingPart& p) { return p.tx == tx; });
+    if (!queued) apply_queue_.push_back(PendingPart{tx, coordinator});
+    if (prepare_queue_.size() + apply_queue_.size() >= group_window_) {
+      flush_participant_group();
+    } else {
+      schedule_participant_flush();
+    }
+    return;
+  }
   commit_locals(tx);
   stable_.sync();
+  ++participant_syncs_;
   in_doubt_.erase(tx);
   send(coordinator, msg::commit_ack, tx);
+}
+
+void TxManager::flush_participant_group() {
+  ++part_flush_gen_;
+  part_flush_pending_ = false;
+  if (prepare_queue_.empty() && apply_queue_.empty()) return;
+  auto applies = std::move(apply_queue_);
+  apply_queue_.clear();
+  auto prepares = std::move(prepare_queue_);
+  prepare_queue_.clear();
+  bool durable_work = false;
+  // Decided commits first: their staged state is already prepared, the
+  // apply only needs the shared barrier before the ack leaves.
+  for (const auto& a : applies) {
+    commit_locals(a.tx);
+    in_doubt_.erase(a.tx);
+    durable_work = true;
+  }
+  struct Vote {
+    TxId tx;
+    NodeId to;
+    bool yes;
+  };
+  std::vector<Vote> votes;
+  votes.reserve(prepares.size());
+  for (const auto& pnd : prepares) {
+    bool any = false;
+    bool ok = true;
+    for (auto* p : participants_) {
+      if (!p->has_tx(pnd.tx)) continue;
+      any = true;
+      ok = p->prepare(pnd.tx) && ok;
+    }
+    // An abort that arrived while the prepare was queued cleared the
+    // staged state; the NO vote below resolves the transaction either
+    // way, exactly like the unbatched path.
+    if (any && ok) {
+      persist_prepared_marker(pnd.tx);
+      durable_work = true;
+      in_doubt_.emplace(pnd.tx, pnd.coordinator);
+      schedule_inquiry(pnd.tx);
+    }
+    votes.push_back(Vote{pnd.tx, pnd.coordinator, any && ok});
+  }
+  // ONE metered barrier for the whole batch; votes and acks may leave
+  // only after it — that is the promise a YES vote / commit-ack makes.
+  if (durable_work) {
+    stable_.sync();
+    ++participant_syncs_;
+  }
+  for (const auto& a : applies) send(a.coordinator, msg::commit_ack, a.tx);
+  for (const auto& v : votes) send(v.to, msg::vote, v.tx, v.yes);
+  if (!applies.empty() && apply_listener_) apply_listener_();
+}
+
+void TxManager::schedule_participant_flush() {
+  if (part_flush_pending_) return;
+  part_flush_pending_ = true;
+  const auto epoch = epoch_;
+  const auto gen = part_flush_gen_;
+  sim_.schedule_after(group_flush_us_, [this, epoch, gen] {
+    if (epoch != epoch_ || gen != part_flush_gen_) return;
+    flush_participant_group();
+  });
 }
 
 void TxManager::handle_abort(TxId tx) {
@@ -286,10 +379,9 @@ void TxManager::handle_inquiry(TxId tx, NodeId from) {
 
 void TxManager::handle_decision(TxId tx, bool committed) {
   if (committed) {
-    commit_locals(tx);
-    stable_.sync();
-    in_doubt_.erase(tx);
-    send(coordinator_of(tx), msg::commit_ack, tx);
+    // Same path as a direct COMMIT (including the participant-side group
+    // flush): apply, barrier, then acknowledge towards the coordinator.
+    handle_commit(tx, coordinator_of(tx));
   } else {
     handle_abort(tx);
   }
@@ -366,6 +458,12 @@ void TxManager::on_crash() {
   // and their records stay queued (restartability).
   commit_queue_.clear();
   flush_pending_ = false;
+  // Likewise the participant-side batch: queued prepares never voted (the
+  // coordinator presumes abort from the silence), queued commit applies
+  // are re-driven by the coordinator / resolved by inquiry.
+  prepare_queue_.clear();
+  apply_queue_.clear();
+  part_flush_pending_ = false;
   for (auto* p : participants_) p->on_crash();
 }
 
@@ -431,7 +529,8 @@ void TxManager::on_recover() {
 }
 
 bool TxManager::idle() const {
-  if (!coords_.empty() || !in_doubt_.empty() || !commit_queue_.empty()) {
+  if (!coords_.empty() || !in_doubt_.empty() || !commit_queue_.empty() ||
+      !prepare_queue_.empty() || !apply_queue_.empty()) {
     return false;
   }
   return stable_.keys_with_prefix("txdec:").empty() &&

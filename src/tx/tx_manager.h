@@ -98,16 +98,40 @@ class TxManager {
   /// prepared participant state (used by tests to detect quiescence).
   [[nodiscard]] bool idle() const;
 
+  /// Stable-storage syncs paid as a 2PC PARTICIPANT (prepare barriers
+  /// before YES votes, commit applies before acks) — the share of this
+  /// node's sync_batches that convoy batching + participant-side group
+  /// commit amortize. A7 reports this per agent-hop.
+  [[nodiscard]] std::uint64_t participant_syncs() const {
+    return participant_syncs_;
+  }
+
   [[nodiscard]] NodeId self() const { return self_; }
 
   /// Interval at which in-doubt participants re-ask the coordinator.
   void set_inquiry_interval(sim::TimeUs t) { inquiry_interval_ = t; }
+
+  /// Called after a batched participant flush applied remote commits:
+  /// queue records may have landed outside any message dispatch (the
+  /// flush timer), so the owning runtime re-pumps its scheduler here.
+  void set_apply_listener(std::function<void()> fn) {
+    apply_listener_ = std::move(fn);
+  }
 
   /// Group commit (the MariaDB/TokuDB-style log batching, applied to the
   /// one-phase local fast path): decided local-only commits enter a queue
   /// that is flushed — participants applied, ONE metered sync, callbacks —
   /// when `window` commits are pending or `flush_us` after the first one.
   /// window <= 1 reproduces the sync-per-commit path bit for bit.
+  ///
+  /// A window > 1 additionally coalesces the PARTICIPANT side of 2PC:
+  /// incoming PREPAREs and COMMIT applies queue up and flush with a
+  /// shared sync each — votes and commit-acks leave only after the
+  /// batched barrier, so convoyed agent transfers towards one node pay
+  /// ~2 syncs per batch instead of 2 per transfer. A crash before the
+  /// flush loses the queued (volatile, unvoted) prepares, so their
+  /// coordinators read the silence as presumed abort — the same crash
+  /// atomicity the local commit queue has.
   void set_group_commit(std::uint32_t window, sim::TimeUs flush_us) {
     group_window_ = window;
     group_flush_us_ = flush_us;
@@ -139,6 +163,10 @@ class TxManager {
   // Participant internals.
   void handle_prepare(TxId tx, NodeId coordinator);
   void handle_commit(TxId tx, NodeId coordinator);
+  /// Run queued participant prepares and commit applies, pay one shared
+  /// sync, then release the votes and acks.
+  void flush_participant_group();
+  void schedule_participant_flush();
   void handle_abort(TxId tx);
   void handle_inquiry(TxId tx, NodeId from);
   void handle_decision(TxId tx, bool committed);
@@ -173,6 +201,22 @@ class TxManager {
   std::uint64_t flush_gen_ = 0;
   std::uint32_t group_window_ = 1;
   sim::TimeUs group_flush_us_ = 100;
+
+  /// Participant-side pending work awaiting the batched flush (window >
+  /// 1): PREPAREs not yet persisted/voted and COMMITs not yet
+  /// applied/acked. Volatile — a crash drops queued prepares unvoted
+  /// (presumed abort) and leaves queued commits to the coordinator's
+  /// COMMIT re-drive / the inquiry protocol.
+  struct PendingPart {
+    TxId tx;
+    NodeId coordinator;
+  };
+  std::vector<PendingPart> prepare_queue_;
+  std::vector<PendingPart> apply_queue_;
+  bool part_flush_pending_ = false;
+  std::uint64_t part_flush_gen_ = 0;
+  std::function<void()> apply_listener_;
+  std::uint64_t participant_syncs_ = 0;
 };
 
 }  // namespace mar::tx

@@ -21,6 +21,7 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::rollback_done: return "ROLLBACK-DONE";
     case TraceKind::rce_shipped: return "RCE-SHIPPED";
     case TraceKind::mce_shipped: return "MCE-SHIPPED";
+    case TraceKind::convoy: return "CONVOY";
     case TraceKind::log_discard: return "LOG-DISCARD";
     case TraceKind::sp_gc: return "SP-GC";
     case TraceKind::crash: return "CRASH";

@@ -31,6 +31,7 @@ enum class TraceKind {
   rollback_done,    ///< Rollback reached the target savepoint.
   rce_shipped,      ///< Resource compensation entries shipped (optimized).
   mce_shipped,      ///< Mixed step's entries + weak state shipped (adaptive).
+  convoy,           ///< Batched agent transfers left for one destination.
   log_discard,      ///< Whole rollback log discarded (itinerary semantics).
   sp_gc,            ///< A savepoint entry garbage-collected from the log.
   crash,            ///< Node crashed.

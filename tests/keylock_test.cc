@@ -20,6 +20,7 @@
 #include "resource/directory.h"
 #include "resource/exchange.h"
 #include "resource/mailbox.h"
+#include "resource/mint.h"
 #include "resource/resource_manager.h"
 #include "storage/stable_storage.h"
 #include "util/rng.h"
@@ -163,17 +164,108 @@ TEST_F(PerKeyFixture, ReadersShareWritersExclude) {
   ASSERT_TRUE(deposit(t3, "a1", 5).is_ok());  // readers gone
 }
 
+/// A resource keeping the default (whole-instance) key_set declaration.
+class UndeclaredResource final : public resource::Resource {
+ public:
+  [[nodiscard]] std::string type_name() const override { return "plain"; }
+  [[nodiscard]] Value initial_state() const override {
+    Value state = Value::empty_map();
+    state.set("cells", Value::empty_map());
+    return state;
+  }
+  Result<Value> invoke(std::string_view op, const Value& p,
+                       Value& state) override {
+    if (op != "put") return Status(Errc::rejected, "unknown op");
+    state.as_map().at("cells").set(p.at("key").as_string(), p.at("value"));
+    return Value::empty_map();
+  }
+};
+
 TEST_F(PerKeyFixture, UndeclaredResourceFallsBackToWholeInstance) {
-  rm.add_resource("dir", std::make_unique<resource::Directory>());
+  rm.add_resource("plain", std::make_unique<UndeclaredResource>());
   const TxId t1(1), t2(2);
-  ASSERT_TRUE(rm.invoke(t1, "dir", "publish",
+  ASSERT_TRUE(rm.invoke(t1, "plain", "put",
                         params({{"key", Value("x")}, {"value", Value(1)}}))
                   .is_ok());
-  // Directory declares no key-set: different keys still conflict.
-  auto r = rm.invoke(t2, "dir", "publish",
+  // No key-set declared: different keys still conflict (whole instance).
+  auto r = rm.invoke(t2, "plain", "put",
                      params({{"key", Value("y")}, {"value", Value(2)}}));
   ASSERT_FALSE(r.is_ok());
   EXPECT_EQ(r.code(), Errc::lock_conflict);
+}
+
+TEST_F(PerKeyFixture, DirectoryPublishesDisjointKeysConcurrently) {
+  rm.add_resource("dir", std::make_unique<resource::Directory>());
+  const TxId t1(1), t2(2), t3(3);
+  ASSERT_TRUE(rm.invoke(t1, "dir", "publish",
+                        params({{"key", Value("x")}, {"value", Value(1)}}))
+                  .is_ok());
+  // Per-entry keys: a different entry proceeds, the same entry conflicts.
+  ASSERT_TRUE(rm.invoke(t2, "dir", "publish",
+                        params({{"key", Value("y")}, {"value", Value(2)}}))
+                  .is_ok());
+  auto same = rm.invoke(t3, "dir", "publish",
+                        params({{"key", Value("x")}, {"value", Value(3)}}));
+  ASSERT_FALSE(same.is_ok());
+  EXPECT_EQ(same.code(), Errc::lock_conflict);
+  // list reads the whole entries slot: excluded by any writer.
+  auto list = rm.invoke(t3, "dir", "list", params({{"prefix", Value("")}}));
+  ASSERT_FALSE(list.is_ok());
+  EXPECT_EQ(list.code(), Errc::lock_conflict);
+  ASSERT_TRUE(rm.prepare(t1));
+  rm.commit(t1);
+  ASSERT_TRUE(rm.prepare(t2));
+  rm.commit(t2);
+  EXPECT_TRUE(
+      rm.committed_state("dir").at("entries").has("x"));
+  EXPECT_TRUE(
+      rm.committed_state("dir").at("entries").has("y"));
+  EXPECT_FALSE(rm.locked("dir"));
+}
+
+TEST_F(PerKeyFixture, MintRedeemsDisjointCoinsConcurrently) {
+  rm.add_resource("mint", std::make_unique<resource::Mint>());
+  // Seed two live coins outside any transaction.
+  {
+    Value state = rm.committed_state("mint");
+    for (const char* serial : {"1", "2"}) {
+      Value coin = Value::empty_map();
+      coin.set("currency", Value("USD"));
+      coin.set("value", std::int64_t{20});
+      state.as_map().at("live").set(serial, std::move(coin));
+    }
+    state.set("next_serial", std::int64_t{3});
+    rm.poke_state("mint", std::move(state));
+  }
+  const TxId t1(1), t2(2), t3(3);
+  Value coins1 = Value::empty_list();
+  coins1.push_back(std::int64_t{1});
+  Value coins2 = Value::empty_list();
+  coins2.push_back(std::int64_t{2});
+  ASSERT_TRUE(
+      rm.invoke(t1, "mint", "redeem", params({{"coins", coins1}})).is_ok());
+  // Disjoint serials: the second redeem proceeds under per-key locking.
+  ASSERT_TRUE(
+      rm.invoke(t2, "mint", "redeem", params({{"coins", coins2}})).is_ok());
+  // The same serial conflicts (t1 holds live/1 exclusively).
+  auto clash =
+      rm.invoke(t3, "mint", "redeem", params({{"coins", coins1}}));
+  ASSERT_FALSE(clash.is_ok());
+  EXPECT_EQ(clash.code(), Errc::lock_conflict);
+  // issue declares the whole live slot: excluded while coins are locked.
+  auto wide = rm.invoke(t3, "mint", "issue",
+                        params({{"currency", Value("USD")},
+                                {"value", Value(5)},
+                                {"count", Value(1)}}));
+  ASSERT_FALSE(wide.is_ok());
+  EXPECT_EQ(wide.code(), Errc::lock_conflict);
+  ASSERT_TRUE(rm.prepare(t1));
+  rm.commit(t1);
+  ASSERT_TRUE(rm.prepare(t2));
+  rm.commit(t2);
+  EXPECT_FALSE(rm.committed_state("mint").at("live").has("1"));
+  EXPECT_FALSE(rm.committed_state("mint").at("live").has("2"));
+  EXPECT_FALSE(rm.locked("mint"));
 }
 
 TEST_F(PerKeyFixture, TransferTouchesBothAccountsAtomically) {
