@@ -44,6 +44,7 @@
 #include "storage/stable_storage.h"
 #include "tx/queue_manager.h"
 #include "tx/tx_manager.h"
+#include "util/counters.h"
 #include "util/ids.h"
 
 namespace mar::ship {
@@ -54,16 +55,17 @@ inline constexpr const char* convoy = "ship.convoy";
 inline constexpr const char* convoy_ack = "ship.convoy_ack";
 }  // namespace msg
 
-/// Per-node shipping counters (A7 reports these).
+/// Per-node shipping counters (A7 reports these). Relaxed atomics, like
+/// StorageStats: safe to sample from a monitor thread while the world runs.
 struct ShipStats {
-  std::uint64_t convoys_sent = 0;       ///< convoy messages sent
-  std::uint64_t entries_sent = 0;       ///< records shipped (incl. retries)
-  std::uint64_t full_images = 0;        ///< entries shipped as full images
-  std::uint64_t delta_ships = 0;        ///< entries shipped as deltas
-  std::uint64_t delta_fallbacks = 0;    ///< sender fell back to full (no
-                                        ///< usable base / oversized delta)
-  std::uint64_t need_full_retries = 0;  ///< receiver rejected a delta
-  std::uint64_t wire_payload_bytes = 0; ///< convoy payload bytes sent
+  RelaxedCounter convoys_sent;       ///< convoy messages sent
+  RelaxedCounter entries_sent;       ///< records shipped (incl. retries)
+  RelaxedCounter full_images;        ///< entries shipped as full images
+  RelaxedCounter delta_ships;        ///< entries shipped as deltas
+  RelaxedCounter delta_fallbacks;    ///< sender fell back to full (no
+                                     ///< usable base / oversized delta)
+  RelaxedCounter need_full_retries;  ///< receiver rejected a delta
+  RelaxedCounter wire_payload_bytes; ///< convoy payload bytes sent
 };
 
 class ShipmentManager {

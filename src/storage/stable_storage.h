@@ -27,6 +27,7 @@
 
 #include "serial/decoder.h"
 #include "serial/encoder.h"
+#include "util/counters.h"
 #include "util/ids.h"
 
 namespace mar::storage {
@@ -66,24 +67,26 @@ struct QueueRecord {
 
 /// Write metering, reported by the forward-overhead experiment (E8), the
 /// steady-state durability experiment (A5) and the contention experiment
-/// (A6).
+/// (A6). Counters are relaxed atomics so a monitor thread may sample a
+/// world's meters while the world runs (see util/counters.h); the write
+/// side stays single-threaded.
 struct StorageStats {
-  std::uint64_t bytes_written = 0;
-  std::uint64_t kv_writes = 0;
-  std::uint64_t queue_ops = 0;
+  RelaxedCounter bytes_written;
+  RelaxedCounter kv_writes;
+  RelaxedCounter queue_ops;
   /// Append-only record area: segment appends / full-image rewrites.
-  std::uint64_t record_appends = 0;
-  std::uint64_t record_resets = 0;
+  RelaxedCounter record_appends;
+  RelaxedCounter record_resets;
   /// Metered stable-storage syncs. Each committing step transaction costs
   /// one, unless the group-commit pipeline coalesces several commits of a
   /// window into a single batch — then syncs/step drops below 1 (A6).
-  std::uint64_t sync_batches = 0;
+  RelaxedCounter sync_batches;
   /// Delta-shipped migrations (A7): payload bytes that arrived over the
   /// wire at this node vs. full-image bytes materialized locally from a
   /// cached base plus the shipped delta. reconstructed > received is the
   /// bandwidth the shipment cache saved the network.
-  std::uint64_t ship_bytes_received = 0;
-  std::uint64_t ship_bytes_reconstructed = 0;
+  RelaxedCounter ship_bytes_received;
+  RelaxedCounter ship_bytes_reconstructed;
 };
 
 class StableStorage {

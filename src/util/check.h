@@ -2,8 +2,18 @@
 //
 // MAR_CHECK is used for preconditions and invariants that indicate a
 // programming error when violated; it throws mar::LogicError so that tests
-// can observe violations deterministically (the library is exercised inside
-// a single-threaded simulation, so stack unwinding is always safe).
+// can observe violations deterministically (each simulation world is
+// single-threaded, so stack unwinding is always safe).
+//
+// MAR_DCHECK is the debug-only variant for hot-path internal invariants:
+// in release builds (NDEBUG) the condition is type-checked but neither
+// evaluated nor branched on. Checks whose violation a test asserts on (the
+// per-key declaration audit, public-API preconditions) must stay MAR_CHECK
+// — the tier-1 suite runs release builds.
+//
+// Both macros evaluate the condition expression EXACTLY once when armed
+// (and zero times when compiled out); side effects in check conditions are
+// still a bug, but they will not double-fire.
 #pragma once
 
 #include <sstream>
@@ -44,3 +54,23 @@ namespace detail {
                                   mar_check_os.str());                \
     }                                                                 \
   } while (false)
+
+// Debug-only checks. The release expansion keeps the expression inside an
+// unevaluated `false && (expr)` so variables referenced only by DCHECKs
+// stay used (no -Werror=unused fallout) and the condition stays
+// type-checked, while the optimizer removes the whole statement.
+#ifdef NDEBUG
+#define MAR_DCHECK(expr)                 \
+  do {                                   \
+    if (false && (expr)) { /* no-op */   \
+    }                                    \
+  } while (false)
+#define MAR_DCHECK_MSG(expr, msg)        \
+  do {                                   \
+    if (false && (expr)) { /* no-op */   \
+    }                                    \
+  } while (false)
+#else
+#define MAR_DCHECK(expr) MAR_CHECK(expr)
+#define MAR_DCHECK_MSG(expr, msg) MAR_CHECK_MSG(expr, msg)
+#endif

@@ -1,0 +1,56 @@
+// Relaxed-atomic metering counters.
+//
+// Every world is single-threaded by design, but its metering structs
+// (StorageStats, ShipStats) are legitimately sampled from OTHER threads:
+// a monitor polling a long-running world for progress, or the TSan stress
+// suite observing a world mid-run. A plain uint64_t field makes every such
+// sample a data race; RelaxedCounter makes concurrent sampling well-defined
+// while keeping the single-writer hot path a plain add.
+//
+// Relaxed ordering is deliberate and sufficient: counters are monotone
+// meters, never synchronization points — a reader only needs SOME recent
+// value, and readers that need a consistent cross-counter snapshot must
+// quiesce the world first (join its thread), exactly as before.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mar {
+
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter() = default;
+  constexpr RelaxedCounter(std::uint64_t v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  RelaxedCounter(const RelaxedCounter& o) : v_(o.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& o) {
+    store(o.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) {
+    store(v);
+    return *this;
+  }
+
+  /// Counters read like the plain integers they replaced.
+  operator std::uint64_t() const { return load(); }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::uint64_t load() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+  RelaxedCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+}  // namespace mar

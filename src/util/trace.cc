@@ -33,6 +33,7 @@ std::string_view to_string(TraceKind k) {
 
 void TraceSink::emit(std::uint64_t time_us, TraceKind kind, std::uint32_t node,
                      std::string detail) {
+  const std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(TraceEvent{time_us, kind, node, std::move(detail)});
   if (echo_) {
     const auto& e = events_.back();
@@ -41,7 +42,18 @@ void TraceSink::emit(std::uint64_t time_us, TraceKind kind, std::uint32_t node,
   }
 }
 
+void TraceSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
 std::size_t TraceSink::count(TraceKind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const auto& e : events_) {
     if (e.kind == kind) ++n;
@@ -50,6 +62,7 @@ std::size_t TraceSink::count(TraceKind kind) const {
 }
 
 std::vector<TraceEvent> TraceSink::of_kind(TraceKind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   for (const auto& e : events_) {
     if (e.kind == kind) out.push_back(e);
@@ -58,6 +71,7 @@ std::vector<TraceEvent> TraceSink::of_kind(TraceKind kind) const {
 }
 
 void TraceSink::print(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : events_) {
     os << "[t=" << std::setw(10) << e.time_us << "us N" << e.node << "] "
        << std::setw(14) << std::left << to_string(e.kind) << std::right << " "

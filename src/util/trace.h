@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -48,8 +49,12 @@ struct TraceEvent {
   std::string detail;         ///< Human-readable payload.
 };
 
-/// Collects trace events in order. Not thread-safe (the simulation is
-/// single-threaded by design).
+/// Collects trace events in order. Mutations and the copying accessors
+/// (emit / count / of_kind / size / clear / print) are mutex-guarded, so a
+/// sink may be shared by worlds running on different threads (parallel
+/// experiment sweeps that funnel one event stream) or polled live by a
+/// monitor thread. events() returns an unguarded reference and remains
+/// owner-thread-only: call it only when no other thread is emitting.
 class TraceSink {
  public:
   void emit(std::uint64_t time_us, TraceKind kind, std::uint32_t node,
@@ -58,7 +63,10 @@ class TraceSink {
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
-  void clear() { events_.clear(); }
+  void clear();
+
+  /// Number of events recorded so far.
+  [[nodiscard]] std::size_t size() const;
 
   /// Number of events of the given kind.
   [[nodiscard]] std::size_t count(TraceKind kind) const;
@@ -73,6 +81,7 @@ class TraceSink {
   void set_echo(bool on) { echo_ = on; }
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   bool echo_ = false;
 };
