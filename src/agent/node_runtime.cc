@@ -26,6 +26,7 @@ NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
     if (up_) pump();
   });
   rm_.set_granularity(platform.config().lock_granularity);
+  if (platform.config().lock_audit) rm_.enable_lock_audit();
   txm_.set_group_commit(platform.config().group_commit_window,
                         platform.config().group_commit_flush_us);
 }
@@ -361,7 +362,7 @@ void NodeRuntime::handle_message(const net::Message& m) {
         st = run_comp_op(tx, op, nullptr);
         if (!st.is_ok()) break;
       }
-      serial::Encoder enc;
+      serial::Encoder enc(8 + 1);
       enc.write_u64(tx.value());
       enc.write_bool(st.is_ok());
       p_.net().send(
@@ -392,7 +393,7 @@ void NodeRuntime::handle_message(const net::Message& m) {
         st = run_comp_op(tx, op, &weak);
         if (!st.is_ok()) break;
       }
-      serial::Encoder enc;
+      serial::Encoder enc(8 + 1 + weak.encoded_size());
       enc.write_u64(tx.value());
       enc.write_bool(st.is_ok());
       weak.serialize(enc);
@@ -1115,10 +1116,10 @@ bool NodeRuntime::ship_mixed_is_cheaper(const rollback::RollbackLog& log,
   //            reply (updated weak state) back;
   //   migrate: the whole agent — state, itinerary and attached rollback
   //            log — travels there (and would later have to travel on).
-  serial::Encoder ops_enc;
-  for (const auto* op : log.last_step_ops()) op->serialize(ops_enc);
-  const auto weak_bytes = serial::to_bytes(agent.data().weak_image()).size();
-  const auto request = ops_enc.size() + weak_bytes + 16;
+  std::size_t ops_bytes = 0;
+  for (const auto* op : log.last_step_ops()) ops_bytes += op->byte_size();
+  const auto weak_bytes = agent.data().weak_image().encoded_size();
+  const auto request = ops_bytes + weak_bytes + 16;
   const auto reply = weak_bytes + 16;
   const auto ship_time = p_.net().transfer_time(id_, dest, request) +
                          p_.net().transfer_time(dest, id_, reply);
@@ -1208,7 +1209,10 @@ void NodeRuntime::execute_compensation(const QueueRecord& rec) {
     // snapshot; merge the updated weak state back on acknowledgement.
     ++p_.mixed_ships();
     txm_.enlist_remote(tx, eos.node);
-    serial::Encoder enc;
+    std::size_t frame = 8 + serial::varint_size(ops.size()) +
+                        agent->data().weak_image().encoded_size();
+    for (const auto& op : ops) frame += op.byte_size();
+    serial::Encoder enc(frame);
     enc.write_u64(tx.value());
     enc.write_varint(ops.size());
     for (const auto& op : ops) op.serialize(enc);
@@ -1304,7 +1308,9 @@ void NodeRuntime::execute_compensation(const QueueRecord& rec) {
   if (!rces.empty()) {
     ++join->pending;
     txm_.enlist_remote(tx, eos.node);
-    serial::Encoder enc;
+    std::size_t frame = 8 + serial::varint_size(rces.size());
+    for (const auto& op : rces) frame += op.byte_size();
+    serial::Encoder enc(frame);
     enc.write_u64(tx.value());
     enc.write_varint(rces.size());
     for (const auto& op : rces) op.serialize(enc);

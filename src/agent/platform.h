@@ -76,6 +76,20 @@ struct PlatformConfig {
   resource::LockGranularity lock_granularity =
       resource::LockGranularity::per_key;
 
+  /// Compiled-in concurrency validator (resource/lock_audit.h): mirror
+  /// every lock grant, conflict and release into a per-node LockAudit that
+  /// maintains per-transaction held-key sets, the global acquisition-order
+  /// graph and the wait-for graph, and hard-fails on a wait-for cycle with
+  /// the full cycle printed. Defaults to on in debug builds (the tsan CI
+  /// job runs the whole suite with it armed) and off in release, where the
+  /// tier-1 envelope must stay bit-identical and unslowed; tests can force
+  /// it on either way.
+#ifdef NDEBUG
+  bool lock_audit = false;
+#else
+  bool lock_audit = true;
+#endif
+
   /// Group commit: local step-transaction commits enter a queue that is
   /// flushed — participants applied, one metered stable-storage sync,
   /// callbacks — once this many commits are pending or after

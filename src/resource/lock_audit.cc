@@ -1,0 +1,142 @@
+#include "resource/lock_audit.h"
+
+#include <sstream>
+
+namespace mar::resource {
+
+namespace {
+
+/// Depth-first search over an adjacency map, reconstructing the path
+/// from `from` to `to` (inclusive) when one exists.
+template <typename Node>
+bool dfs_path(const std::map<Node, std::set<Node>>& adj, const Node& from,
+              const Node& to, std::set<Node>& visited,
+              std::vector<Node>& path) {
+  if (!visited.insert(from).second) return false;
+  path.push_back(from);
+  if (from == to) return true;
+  auto it = adj.find(from);
+  if (it != adj.end()) {
+    for (const Node& next : it->second) {
+      if (dfs_path(adj, next, to, visited, path)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::string> LockAudit::on_acquire(TxId tx,
+                                                 const std::string& resource,
+                                                 const std::string& unit) {
+  ++stats_.acquires;
+  const std::string key = key_of(resource, unit);
+  auto& held = held_[tx];
+  if (held.contains(key)) return std::nullopt;  // re-grant of a held key
+  std::optional<std::string> witness;
+  for (const auto& prior : held) {
+    if (prior == key) continue;
+    // Edge prior -> key is about to be recorded; if key already reaches
+    // prior, some other transaction took these keys in the opposite order.
+    if (!witness && order_reaches(key, prior)) {
+      ++stats_.order_inversions;
+      std::ostringstream os;
+      os << "lock-order inversion: tx " << tx.value() << " acquires \"" << key
+         << "\" while holding \"" << prior << "\", but the acquisition-order "
+         << "graph already has \"" << key << "\" -> ... -> \"" << prior
+         << "\" (some transaction takes these keys in the opposite order; "
+         << "under blocking waits this is a deadlock)";
+      witness = os.str();
+      if (!first_inversion_) first_inversion_ = witness;
+    }
+    order_after_[prior].insert(key);
+  }
+  held.insert(key);
+  if (witness && config_.fail_on_inversion) throw LockAuditError(*witness);
+  return witness;
+}
+
+std::optional<std::vector<TxId>> LockAudit::on_conflict(TxId tx, TxId holder) {
+  MAR_CHECK_MSG(tx != holder, "tx " << tx.value()
+                                    << " reported a wait-for edge on itself");
+  ++stats_.wait_edges;
+  waits_[tx].insert(holder);
+  // The new edge tx -> holder closes a cycle iff tx was already reachable
+  // from holder.
+  auto back = wait_path(holder, tx);
+  if (!back) return std::nullopt;
+  ++stats_.wfg_cycles;
+  // Cycle as waiter-first edge list: tx -> holder -> ... -> tx.
+  std::vector<TxId> cycle;
+  cycle.push_back(tx);
+  for (const TxId node : *back) cycle.push_back(node);
+  if (config_.fail_on_cycle) throw LockAuditError(describe_cycle(cycle));
+  return cycle;
+}
+
+void LockAudit::on_release(TxId tx) {
+  ++stats_.releases;
+  held_.erase(tx);
+  waits_.erase(tx);
+  for (auto it = waits_.begin(); it != waits_.end();) {
+    it->second.erase(tx);
+    if (it->second.empty()) {
+      it = waits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LockAudit::reset() {
+  held_.clear();
+  order_after_.clear();
+  waits_.clear();
+}
+
+std::set<std::string> LockAudit::held(TxId tx) const {
+  auto it = held_.find(tx);
+  return it == held_.end() ? std::set<std::string>{} : it->second;
+}
+
+std::string LockAudit::describe_cycle(const std::vector<TxId>& cycle) const {
+  std::ostringstream os;
+  os << "wait-for-graph cycle (deadlock): ";
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << "tx " << cycle[i].value();
+  }
+  os << " -> tx " << cycle.front().value();
+  for (const TxId tx : cycle) {
+    os << "\n  tx " << tx.value() << " holds {";
+    bool first = true;
+    auto it = held_.find(tx);
+    if (it != held_.end()) {
+      for (const auto& key : it->second) {
+        if (!first) os << ", ";
+        os << "\"" << key << "\"";
+        first = false;
+      }
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+bool LockAudit::order_reaches(const std::string& from,
+                              const std::string& to) const {
+  std::set<std::string> visited;
+  std::vector<std::string> path;
+  return dfs_path(order_after_, from, to, visited, path);
+}
+
+std::optional<std::vector<TxId>> LockAudit::wait_path(TxId from,
+                                                      TxId to) const {
+  std::set<TxId> visited;
+  std::vector<TxId> path;
+  if (!dfs_path(waits_, from, to, visited, path)) return std::nullopt;
+  return path;
+}
+
+}  // namespace mar::resource

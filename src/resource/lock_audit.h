@@ -1,0 +1,131 @@
+// Debug lock-order and wait-for-graph validator.
+//
+// The per-key lock table (resource_manager.cc) is no-wait today: a
+// conflict aborts the losing transaction, so deadlock is impossible — but
+// ROADMAP item 1 (blocking lock waits for hot keys) will change that, and
+// a latent lock-order inversion that is harmless under abort/restart
+// becomes a deadlock the moment waits block. LockAudit is the compiled-in
+// validator that makes those hazards visible NOW, at acquire time:
+//
+//   * it records, per transaction, the set of held lock keys
+//     ("resource:unit"), mirroring every grant and release of the lock
+//     tables;
+//   * it maintains the global acquisition-order graph: an edge a -> b
+//     means some transaction acquired b while holding a. A cycle in this
+//     graph is a lock-order inversion — two transactions take the same
+//     keys in opposite orders, the classic deadlock recipe;
+//   * it maintains the wait-for graph: at conflict time the would-block
+//     edge waiter -> holder is recorded (in no-wait mode the waiter aborts
+//     right after, so the edge is transient; under blocking waits it is
+//     the real wait). A cycle here IS a deadlock: detection walks the
+//     graph at edge-insert time and reports the full cycle with each
+//     participant's held keys, TokuDB lock_tree style.
+//
+// Policy: wait-for-graph cycles hard-fail by default (they are never
+// legitimate); acquisition-order inversions are counted and remembered by
+// default (the abort/restart engine survives them) and hard-fail only in
+// strict mode — the gate later blocking-wait work must keep green.
+//
+// The audit is wired into ResourceManager behind PlatformConfig::
+// lock_audit, which defaults to on in debug builds (and the sanitizer CI
+// jobs) and off in release; tests force it on explicitly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/ids.h"
+
+namespace mar::resource {
+
+/// Thrown on a hard-failing audit finding; what() carries the rendered
+/// cycle (every edge plus each participant's held keys).
+class LockAuditError : public LogicError {
+ public:
+  explicit LockAuditError(const std::string& what) : LogicError(what) {}
+};
+
+class LockAudit {
+ public:
+  struct Config {
+    /// Hard-fail when a wait-for-graph cycle closes (a deadlock).
+    bool fail_on_cycle = true;
+    /// Hard-fail on acquisition-order inversions too (strict mode).
+    bool fail_on_inversion = false;
+  };
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t wait_edges = 0;
+    std::uint64_t order_inversions = 0;
+    std::uint64_t wfg_cycles = 0;
+  };
+
+  LockAudit() = default;
+  explicit LockAudit(Config config) : config_(config) {}
+
+  /// The canonical audit key of one lockable unit.
+  [[nodiscard]] static std::string key_of(const std::string& resource,
+                                          const std::string& unit) {
+    return resource + ":" + unit;
+  }
+
+  /// Record that `tx` was granted the lock on `resource`/`unit`. Extends
+  /// the acquisition-order graph with held-key -> new-key edges and checks
+  /// them for inversions. Returns the inversion witness ("a before b, but
+  /// b -> ... -> a already recorded") when one was found.
+  std::optional<std::string> on_acquire(TxId tx, const std::string& resource,
+                                        const std::string& unit);
+
+  /// Record that `tx` hit a conflict against `holder` (a would-block
+  /// wait-for edge) and check the wait-for graph for a cycle. Returns the
+  /// cycle — waiter first, closing back on the waiter — when adding this
+  /// edge closed one. Self-conflicts (tx == holder) are a caller bug.
+  std::optional<std::vector<TxId>> on_conflict(TxId tx, TxId holder);
+
+  /// Drop every trace of `tx`: held keys and wait-for edges in both
+  /// directions (commit, abort, or — under blocking waits — wake-up).
+  void on_release(TxId tx);
+
+  /// Crash: all lock state is volatile. Clears the held sets and both
+  /// graphs; cumulative stats survive so detections cannot be hidden by a
+  /// crash-recover cycle.
+  void reset();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// Keys currently held by `tx` (empty set when none).
+  [[nodiscard]] std::set<std::string> held(TxId tx) const;
+  /// First inversion witness seen, if any (diagnostics).
+  [[nodiscard]] const std::optional<std::string>& first_inversion() const {
+    return first_inversion_;
+  }
+
+  /// Render a wait-for cycle with every participant's held keys.
+  [[nodiscard]] std::string describe_cycle(
+      const std::vector<TxId>& cycle) const;
+
+ private:
+  /// Is `to` reachable from `from` in the acquisition-order graph?
+  [[nodiscard]] bool order_reaches(const std::string& from,
+                                   const std::string& to) const;
+  /// Path holder -> ... -> waiter in the wait-for graph, if one exists.
+  [[nodiscard]] std::optional<std::vector<TxId>> wait_path(TxId from,
+                                                           TxId to) const;
+
+  Config config_;
+  Stats stats_;
+  std::map<TxId, std::set<std::string>> held_;
+  /// Acquisition-order graph: key -> keys acquired later while it was held.
+  std::map<std::string, std::set<std::string>> order_after_;
+  /// Wait-for graph: waiter -> holders it would block on.
+  std::map<TxId, std::set<TxId>> waits_;
+  std::optional<std::string> first_inversion_;
+};
+
+}  // namespace mar::resource

@@ -93,11 +93,13 @@ Result<Value> ResourceManager::invoke(TxId tx, const std::string& resource,
   // transaction, which the platform restarts later (Sec. 2 abort/restart).
   auto lock = locks_.find(resource);
   if (lock != locks_.end() && lock->second != tx) {
+    if (audit_) audit_->on_conflict(tx, lock->second);
     return Status(Errc::lock_conflict,
                   "resource " + resource + " locked by tx " +
                       std::to_string(lock->second.value()));
   }
   locks_[resource] = tx;
+  if (audit_) audit_->on_acquire(tx, resource, "*");
   auto& overlay = overlays_[tx];
   auto [sit, inserted] =
       overlay.touched.try_emplace(resource, it->second.state);
@@ -151,7 +153,7 @@ void ResourceManager::fold_into(const Instance& inst,
     if (v != unit && unit_covers(unit, v)) covered.push_back(v);
   }
   if (covered.empty()) return;
-  MAR_CHECK(!res_slices.contains(unit));  // would overlap `covered`
+  MAR_DCHECK(!res_slices.contains(unit));  // would overlap `covered`
   KeySlice merged = committed_slice(inst, unit);
   for (const auto& v : covered) {
     KeySlice& s = res_slices.at(v);
@@ -194,6 +196,7 @@ Status ResourceManager::acquire_key_locks(TxId tx, const std::string& resource,
       for (const auto& [held, l] : tit->second) {
         if (!units_overlap(u.unit, held)) continue;
         if (l.writer.valid() && l.writer != tx) {
+          if (audit_) audit_->on_conflict(tx, l.writer);
           return Status(Errc::lock_conflict,
                         "resource " + resource + " key " + u.unit +
                             " locked by tx " + std::to_string(l.writer.value()));
@@ -201,6 +204,7 @@ Status ResourceManager::acquire_key_locks(TxId tx, const std::string& resource,
         if (u.write) {
           for (const TxId r : l.readers) {
             if (r != tx) {
+              if (audit_) audit_->on_conflict(tx, r);
               return Status(Errc::lock_conflict,
                             "resource " + resource + " key " + u.unit +
                                 " read-locked by tx " +
@@ -219,6 +223,7 @@ Status ResourceManager::acquire_key_locks(TxId tx, const std::string& resource,
     } else {
       l.readers.insert(tx);
     }
+    if (audit_) audit_->on_acquire(tx, resource, u.unit);
   }
   return Status::ok();
 }
@@ -394,15 +399,20 @@ bool ResourceManager::prepare(TxId tx) {
   serial::Encoder enc;
   if (granularity_ == LockGranularity::per_key) {
     // Only dirty slices need to survive a crash; the write path pays
-    // O(touched keys), not O(instance state).
+    // O(touched keys), not O(instance state). The counting pass doubles
+    // as the size pass, so the marker is one allocation.
     std::size_t dirty = 0;
+    std::size_t bytes = 0;
     for (const auto& [resource, res_slices] : it->second.slices) {
-      (void)resource;
       for (const auto& [unit, slice] : res_slices) {
-        (void)unit;
-        if (slice.dirty) ++dirty;
+        if (!slice.dirty) continue;
+        ++dirty;
+        bytes += serial::blob_size(resource.size()) +
+                 serial::blob_size(unit.size()) + 1 +
+                 (slice.present ? slice.value.encoded_size() : 0);
       }
     }
+    enc.reserve(serial::varint_size(dirty) + bytes);
     enc.write_varint(dirty);
     for (const auto& [resource, res_slices] : it->second.slices) {
       for (const auto& [unit, slice] : res_slices) {
@@ -416,6 +426,12 @@ bool ResourceManager::prepare(TxId tx) {
   } else {
     // Only modified states need to survive a crash; clean copies are
     // reconstructible (and irrelevant to the commit).
+    std::size_t bytes = serial::varint_size(it->second.dirty.size());
+    for (const auto& name : it->second.dirty) {
+      bytes += serial::blob_size(name.size()) +
+               it->second.touched.at(name).encoded_size();
+    }
+    enc.reserve(bytes);
     enc.write_varint(it->second.dirty.size());
     for (const auto& name : it->second.dirty) {
       enc.write_string(name);
@@ -431,7 +447,7 @@ void ResourceManager::commit_per_key(TxId tx, Overlay& overlay) {
   (void)tx;
   for (auto& [resource, res_slices] : overlay.slices) {
     auto iit = instances_.find(resource);
-    MAR_CHECK(iit != instances_.end());
+    MAR_DCHECK(iit != instances_.end());
     Value& state = iit->second.state;
     for (auto& [unit, slice] : res_slices) {
       // Read-only access writes nothing back (and costs no stable I/O).
@@ -477,7 +493,7 @@ void ResourceManager::commit(TxId tx) {
       // Read-only access writes nothing back (and costs no stable I/O).
       if (!it->second.dirty.contains(name)) continue;
       auto iit = instances_.find(name);
-      MAR_CHECK(iit != instances_.end());
+      MAR_DCHECK(iit != instances_.end());
       iit->second.state = std::move(state);
       // Committed resource state is durable (models the resource's DB).
       stable_.put("res:" + name, serial::to_bytes(iit->second.state));
@@ -498,6 +514,7 @@ void ResourceManager::abort(TxId tx) {
 }
 
 void ResourceManager::release_locks(TxId tx) {
+  if (audit_) audit_->on_release(tx);
   std::erase_if(locks_, [tx](const auto& kv) { return kv.second == tx; });
   for (auto rit = key_locks_.begin(); rit != key_locks_.end();) {
     auto& table = rit->second;
@@ -526,6 +543,7 @@ void ResourceManager::on_crash() {
   overlays_.clear();
   locks_.clear();
   key_locks_.clear();
+  if (audit_) audit_->reset();
   stable_.for_each_with_prefix("prep.res:", [this](const std::string& key,
                                                    const serial::Bytes&
                                                        bytes) {
@@ -543,6 +561,7 @@ void ResourceManager::on_crash() {
         slice.present = dec.read_bool();
         if (slice.present) slice.value.deserialize(dec);
         key_locks_[resource][unit].writer = tx;
+        if (audit_) audit_->on_acquire(tx, resource, unit);
         o.slices[resource].emplace(std::move(unit), std::move(slice));
       }
     } else {
@@ -551,6 +570,7 @@ void ResourceManager::on_crash() {
         Value state;
         state.deserialize(dec);
         locks_[name] = tx;
+        if (audit_) audit_->on_acquire(tx, name, "*");
         o.dirty.insert(name);
         o.touched.emplace(std::move(name), std::move(state));
       }

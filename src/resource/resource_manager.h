@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "resource/lock_audit.h"
 #include "resource/resource.h"
 #include "storage/stable_storage.h"
 #include "tx/participant.h"
@@ -42,6 +43,17 @@ class ResourceManager final : public tx::Participant {
   /// `instance` reproduces the classic manager bit for bit.
   void set_granularity(LockGranularity g) { granularity_ = g; }
   [[nodiscard]] LockGranularity granularity() const { return granularity_; }
+
+  /// Attach the debug lock-order / wait-for-graph validator (see
+  /// lock_audit.h). Every grant, conflict and release of both lock tables
+  /// is mirrored into it; a wait-for cycle hard-fails by default. On by
+  /// default in debug builds via PlatformConfig::lock_audit.
+  void enable_lock_audit(LockAudit::Config config = {}) {
+    audit_ = std::make_unique<LockAudit>(config);
+  }
+  /// The attached validator, or nullptr when auditing is off.
+  [[nodiscard]] LockAudit* lock_audit() { return audit_.get(); }
+  [[nodiscard]] const LockAudit* lock_audit() const { return audit_.get(); }
 
   /// Invoke an operation within transaction `tx`. Takes the instance lock
   /// (or, under per-key locking, shared/exclusive locks on the operation's
@@ -126,6 +138,8 @@ class ResourceManager final : public tx::Participant {
 
   storage::StableStorage& stable_;
   LockGranularity granularity_ = LockGranularity::instance;
+  /// Debug concurrency validator; null when off (release default).
+  std::unique_ptr<LockAudit> audit_;
   std::map<std::string, Instance> instances_;
   std::map<TxId, Overlay> overlays_;
   /// Instance-granularity lock table: resource -> holder.

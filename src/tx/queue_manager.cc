@@ -1,5 +1,7 @@
 #include "tx/queue_manager.h"
 
+#include "util/check.h"
+
 namespace mar::tx {
 
 void QueueManager::RecordOp::serialize(serial::Encoder& enc) const {
@@ -14,6 +16,10 @@ void QueueManager::RecordOp::deserialize(serial::Decoder& dec) {
   bytes = dec.read_bytes();
 }
 
+std::size_t QueueManager::RecordOp::byte_size() const {
+  return 1 + serial::blob_size(key.size()) + serial::blob_size(bytes.size());
+}
+
 void QueueManager::Staged::serialize(serial::Encoder& enc) const {
   enc.write_varint(enqueues.size());
   for (const auto& r : enqueues) r.serialize(enc);
@@ -21,6 +27,15 @@ void QueueManager::Staged::serialize(serial::Encoder& enc) const {
   for (const auto id : removes) enc.write_u64(id);
   enc.write_varint(record_ops.size());
   for (const auto& op : record_ops) op.serialize(enc);
+}
+
+std::size_t QueueManager::Staged::byte_size() const {
+  std::size_t n = serial::varint_size(enqueues.size()) +
+                  serial::varint_size(removes.size()) + 8 * removes.size() +
+                  serial::varint_size(record_ops.size());
+  for (const auto& r : enqueues) n += r.byte_size();
+  for (const auto& op : record_ops) n += op.byte_size();
+  return n;
 }
 
 void QueueManager::Staged::deserialize(serial::Decoder& dec) {
@@ -68,6 +83,8 @@ const storage::QueueRecord* QueueManager::next_eligible(
     for (const auto& r : stable_.queue()) {
       if (stable_.claimed(r.record_id)) continue;
       if (busy_agents.contains(r.agent)) continue;
+      MAR_DCHECK_MSG(r.agent.valid(),
+                     "queued record " << r.record_id << " has no agent");
       return &r;
     }
     return nullptr;
@@ -104,6 +121,11 @@ const storage::QueueRecord* QueueManager::next_eligible(
     if (r == best) break;
     ++bypasses_[r->record_id];
   }
+  // An admitted record must still be offerable: queued and unclaimed —
+  // the claim marks and the queue can only have diverged through a
+  // bookkeeping bug, which would hand one record to two slots.
+  MAR_DCHECK(stable_.contains_record(best->record_id));
+  MAR_DCHECK(!stable_.claimed(best->record_id));
   return best;
 }
 
@@ -124,7 +146,13 @@ bool QueueManager::prepare(TxId tx) {
   auto it = staged_.find(tx);
   if (it == staged_.end()) return false;
   if (it->second.prepared) return true;  // idempotent
-  serial::Encoder enc;
+  // A transaction staging nothing at all should never reach prepare: the
+  // coordinator only enlists participants that hold state for it.
+  MAR_DCHECK_MSG(!it->second.enqueues.empty() ||
+                     !it->second.removes.empty() ||
+                     !it->second.record_ops.empty(),
+                 "empty staging prepared for tx " << tx.value());
+  serial::Encoder enc(it->second.byte_size());
   it->second.serialize(enc);
   stable_.put(prep_key(tx), std::move(enc).take());
   it->second.prepared = true;

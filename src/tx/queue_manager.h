@@ -79,6 +79,7 @@ class QueueManager final : public Participant {
 
     void serialize(serial::Encoder& enc) const;
     void deserialize(serial::Decoder& dec);
+    [[nodiscard]] std::size_t byte_size() const;
   };
 
   struct Staged {
@@ -89,6 +90,7 @@ class QueueManager final : public Participant {
 
     void serialize(serial::Encoder& enc) const;
     void deserialize(serial::Decoder& dec);
+    [[nodiscard]] std::size_t byte_size() const;
   };
 
   [[nodiscard]] std::string prep_key(TxId tx) const {
