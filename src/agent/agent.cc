@@ -176,7 +176,9 @@ void encode_data_section(serial::Encoder& enc, const serial::Value& map,
 serial::Bytes encode_agent_delta(const Agent& agent) {
   MAR_CHECK_MSG(agent.delta_ready(),
                 "agent changes are not append-only; a full image is due");
-  serial::Encoder enc;
+  // Deltas are small by design; pre-sizing would run the dirty-slot walk
+  // twice for a frame that rarely outgrows the first growth step.
+  serial::Encoder enc;  // mar-lint: small-frame
   encode_delta_header(enc, agent, agent.next_sp_, agent.last_sp_dirty_);
   const auto& data = agent.data_;
   encode_data_section(enc, data.strong_image(), data.dirty_strong(),
@@ -255,7 +257,7 @@ std::optional<serial::Bytes> encode_agent_delta_between(const Agent& base,
   }
   // The itinerary is immutable after launch and lives in the base image
   // only; everything else is diffed or carried whole.
-  serial::Encoder enc;
+  serial::Encoder enc;  // mar-lint: small-frame
   encode_delta_header(enc, cur, cur.next_sp_,
                       !(base.last_sp_strong_ == cur.last_sp_strong_));
   // Data sections: sparse slots that differ from the base; a slot removed

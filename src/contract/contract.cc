@@ -9,7 +9,9 @@ namespace mar::contract {
 serial::Bytes encode_invoke(TxId tx, const std::string& resource,
                             const std::string& op, const Value& params,
                             const std::string& comp_op) {
-  serial::Encoder enc;
+  serial::Encoder enc(8 + serial::blob_size(resource.size()) +
+                      serial::blob_size(op.size()) + params.encoded_size() +
+                      serial::blob_size(comp_op.size()));
   enc.write_u64(tx.value());
   enc.write_string(resource);
   enc.write_string(op);
@@ -31,7 +33,7 @@ InvokeRequest decode_invoke(const net::Message& m) {
 }
 
 serial::Bytes encode_result(TxId tx, const Status& status) {
-  serial::Encoder enc;
+  serial::Encoder enc(8 + 1 + serial::blob_size(status.message().size()));
   enc.write_u64(tx.value());
   enc.write_u8(static_cast<std::uint8_t>(status.code()));
   enc.write_string(status.message());

@@ -34,7 +34,9 @@ class Serializable {
 /// Convenience: serialize to a fresh byte vector.
 template <typename T>
 [[nodiscard]] Bytes to_bytes(const T& obj) {
-  Encoder enc;
+  // Generic helper: T's size interface (if any) is unknown here; sized
+  // hot paths construct Encoder(reserve_hint) directly instead.
+  Encoder enc;  // mar-lint: small-frame
   obj.serialize(enc);
   return std::move(enc).take();
 }

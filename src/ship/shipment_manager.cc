@@ -99,7 +99,9 @@ void ShipmentManager::after(sim::TimeUs delay, std::function<void()> fn) {
 
 void ShipmentManager::encode_frame(Pending& p) {
   const auto& cfg = p_.config();
-  serial::Encoder enc;
+  // Frame size depends on the delta-vs-full branch below; pre-sizing
+  // would have to run the diff twice.
+  serial::Encoder enc;  // mar-lint: small-frame
   enc.write_u64(p.tx.value());
   p.delta = false;
   if (cfg.ship_delta && !p.record.payload.empty()) {
@@ -203,7 +205,9 @@ void ShipmentManager::flush_convoy(NodeId dest) {
 
 void ShipmentManager::dispatch_convoy(NodeId dest,
                                       std::vector<Pending> batch) {
-  serial::Encoder enc;
+  std::size_t wire = serial::varint_size(batch.size());
+  for (const auto& p : batch) wire += serial::blob_size(p.frame.size());
+  serial::Encoder enc(wire);
   enc.write_varint(batch.size());
   for (const auto& p : batch) enc.write_bytes(p.frame);
   ++stats_.convoys_sent;
@@ -240,7 +244,7 @@ void ShipmentManager::timeout_pending(TxId tx) {
 void ShipmentManager::on_convoy(const net::Message& m) {
   serial::Decoder dec(m.payload);
   const auto count = dec.read_count();
-  serial::Encoder ack;
+  serial::Encoder ack(8 + serial::varint_size(count) + count * (8 + 1));
   ack.write_u64(epoch_tag_);
   ack.write_varint(count);
   for (std::uint64_t i = 0; i < count; ++i) {

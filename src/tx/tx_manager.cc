@@ -11,7 +11,7 @@ namespace mar::tx {
 namespace {
 
 serial::Bytes encode_tx(TxId tx, bool flag) {
-  serial::Encoder enc;
+  serial::Encoder enc(8 + 1);
   enc.write_u64(tx.value());
   enc.write_bool(flag);
   return std::move(enc).take();
@@ -88,7 +88,8 @@ void TxManager::abort_locals(TxId tx) {
 }
 
 void TxManager::persist_decision(TxId tx, const std::set<NodeId>& remotes) {
-  serial::Encoder enc;
+  serial::Encoder enc(serial::varint_size(remotes.size()) +
+                      4 * remotes.size());
   enc.write_varint(remotes.size());
   for (const auto n : remotes) enc.write_u32(n.value());
   stable_.put(decision_key(tx), std::move(enc).take());

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""mar-lint: project-specific invariant checks for src/.
+
+Rules (each with a stable id used in messages and suppressions):
+
+  R1 resource-key-set   Every Resource subclass declares key_set. An
+                        undeclared subclass silently falls back to
+                        whole-instance locking, defeating per-key
+                        concurrency for that resource.
+  R2 sync-scope         StableStorage::sync() is called only from the
+                        commit machinery (src/tx/, src/storage/). A stray
+                        sync bypasses group-commit metering and skews
+                        every syncs/step figure the benches report.
+  R3 encoder-reserve    A default-constructed serial::Encoder must either
+                        grow into a nearby <var>.reserve(...) call or be
+                        annotated `// mar-lint: small-frame`. Sized hot
+                        paths use Encoder(reserve_hint): one allocation
+                        per frame.
+  R4 raw-random-time    No rand()/srand()/time()/std::mt19937/
+                        std::random_device outside util/rng. All
+                        stochastic behaviour flows through mar::Rng so
+                        every run is reproducible from a seed.
+  R5 trace-registered   Every TraceKind member has a to_string case and
+                        every TraceKind:: use names a declared member, so
+                        trace output never prints "?" for a live event.
+
+Usage:
+  tools/mar_lint.py [--root REPO] [FILES...]   lint src/ (or FILES)
+  tools/mar_lint.py --self-test                verify each rule fires on
+                                               a seeded violation
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+SRC_EXTENSIONS = {".h", ".cc"}
+RESERVE_WINDOW = 30  # lines after a bare Encoder to find .reserve()
+
+
+def strip_noise(line):
+    """Remove // comments and string literal bodies (keeps the quotes)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return re.sub(r"//.*", "", line)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_source_files(root, explicit):
+    if explicit:
+        for f in explicit:
+            p = pathlib.Path(f)
+            if p.suffix in SRC_EXTENSIONS and p.is_file():
+                yield p
+        return
+    for p in sorted((root / "src").rglob("*")):
+        if p.suffix in SRC_EXTENSIONS:
+            yield p
+
+
+def rel(root, path):
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# --- R1: every Resource subclass declares key_set --------------------------
+
+SUBCLASS_RE = re.compile(
+    r"class\s+(\w+)(?:\s+final)?\s*:\s*public\s+(?:resource::)?Resource\b")
+
+
+def check_resource_key_set(path, text, findings):
+    classes = [(m.group(1), text[: m.start()].count("\n") + 1)
+               for m in SUBCLASS_RE.finditer(text)]
+    if not classes:
+        return
+    declares = re.search(r"\bKeySet\s+key_set\s*\(", text) is not None
+    for name, line in classes:
+        if not declares:
+            findings.append(Finding(path, line, "R1",
+                                    f"Resource subclass {name} does not "
+                                    "declare key_set(); it will always "
+                                    "whole-instance lock"))
+
+
+# --- R2: sync() only under src/tx/ and src/storage/ ------------------------
+
+SYNC_ALLOWED_PREFIXES = ("src/tx/", "src/storage/")
+SYNC_RE = re.compile(r"\.\s*sync\s*\(\s*\)")
+
+
+def check_sync_scope(relpath, path, lines, findings):
+    if relpath.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        if SYNC_RE.search(strip_noise(line)):
+            findings.append(Finding(path, i, "R2",
+                                    "StableStorage::sync() outside the "
+                                    "commit machinery (src/tx/, "
+                                    "src/storage/) bypasses group-commit "
+                                    "metering"))
+
+
+# --- R3: default-constructed Encoder pairs with reserve or annotation ------
+
+BARE_ENCODER_RE = re.compile(r"\bEncoder\s+(\w+)\s*;")
+
+
+def check_encoder_reserve(path, lines, findings):
+    for i, line in enumerate(lines, 1):
+        m = BARE_ENCODER_RE.search(strip_noise(line))
+        if not m:
+            continue
+        var = m.group(1)
+        here_or_above = line + (lines[i - 2] if i >= 2 else "")
+        if "mar-lint: small-frame" in here_or_above:
+            continue
+        window = lines[i: i + RESERVE_WINDOW]
+        if any(re.search(rf"\b{re.escape(var)}\s*\.\s*reserve\s*\(", w)
+               for w in window):
+            continue
+        findings.append(Finding(path, i, "R3",
+                                f"default-constructed Encoder `{var}` has "
+                                "no reserve hint; pass "
+                                "Encoder(encoded_size) or annotate "
+                                "`// mar-lint: small-frame`"))
+
+
+# --- R4: raw randomness / wall-clock outside util/rng ----------------------
+
+RNG_ALLOWED_PREFIXES = ("src/util/rng",)
+RAW_RANDOM_RE = re.compile(
+    r"(?:(?<![\w.:>])(?:rand|srand|time)\s*\(|std::mt19937|"
+    r"std::random_device)")
+
+
+def check_raw_random(relpath, path, lines, findings):
+    if relpath.startswith(RNG_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        m = RAW_RANDOM_RE.search(strip_noise(line))
+        if m:
+            findings.append(Finding(path, i, "R4",
+                                    f"raw `{m.group(0).strip()}` outside "
+                                    "util/rng breaks seed-reproducibility; "
+                                    "draw from mar::Rng"))
+
+
+# --- R5: TraceKind members registered and uses valid -----------------------
+
+TRACE_ENUM_RE = re.compile(
+    r"enum\s+class\s+TraceKind\s*\{(.*?)\}", re.DOTALL)
+TRACE_MEMBER_RE = re.compile(r"^\s*(\w+)\s*,?\s*(?://.*)?$")
+TRACE_CASE_RE = re.compile(r"case\s+TraceKind::(\w+)")
+TRACE_USE_RE = re.compile(r"TraceKind::(\w+)")
+
+
+def parse_trace_kinds(root):
+    header = root / "src" / "util" / "trace.h"
+    if not header.is_file():
+        return None, None
+    m = TRACE_ENUM_RE.search(header.read_text())
+    if not m:
+        return None, None
+    members = []
+    for raw in m.group(1).split("\n"):
+        token = strip_noise(raw.replace("///<", "//")).split(",")[0].strip()
+        if token and re.fullmatch(r"\w+", token):
+            members.append(token)
+    impl = root / "src" / "util" / "trace.cc"
+    cases = set(TRACE_CASE_RE.findall(impl.read_text())) \
+        if impl.is_file() else set()
+    return members, cases
+
+
+def check_trace_registered(root, findings):
+    members, cases = parse_trace_kinds(root)
+    if members is None:
+        return
+    header = rel(root, root / "src" / "util" / "trace.h")
+    for member in members:
+        if member not in cases:
+            findings.append(Finding(header, 1, "R5",
+                                    f"TraceKind::{member} has no "
+                                    "to_string case in util/trace.cc; it "
+                                    "would render as \"?\""))
+    declared = set(members)
+    for p in iter_source_files(root, None):
+        text = p.read_text()
+        for i, line in enumerate(text.split("\n"), 1):
+            for use in TRACE_USE_RE.findall(strip_noise(line)):
+                if use not in declared:
+                    findings.append(Finding(rel(root, p), i, "R5",
+                                            f"TraceKind::{use} is not a "
+                                            "declared trace category"))
+
+
+# --- driver ----------------------------------------------------------------
+
+def run_lint(root, explicit_files=None):
+    findings = []
+    for p in iter_source_files(root, explicit_files):
+        relpath = rel(root, p)
+        text = p.read_text()
+        lines = text.split("\n")
+        check_resource_key_set(relpath, text, findings)
+        check_sync_scope(relpath, relpath, lines, findings)
+        check_encoder_reserve(relpath, lines, findings)
+        check_raw_random(relpath, relpath, lines, findings)
+    if not explicit_files:
+        check_trace_registered(root, findings)
+    return findings
+
+
+# --- self-test -------------------------------------------------------------
+
+SEEDED = {
+    "src/resource/gadget.h": """
+#include "resource/resource.h"
+namespace mar::resource {
+class Gadget final : public Resource {
+ public:
+  Result<Value> invoke(std::string_view op, const Value& p, Value& s);
+};
+}
+""",
+    "src/agent/rogue.cc": """
+#include <cstdlib>
+void rogue_sync_and_rand(mar::storage::StableStorage& st) {
+  st.sync();
+  int r = rand();
+  (void)r;
+  std::mt19937 gen(42);
+  (void)gen;
+}
+serial::Bytes rogue_encode() {
+  serial::Encoder enc;
+  enc.write_u64(1);
+  return std::move(enc).take();
+}
+void rogue_trace(mar::TraceSink& t) {
+  t.emit(0, mar::TraceKind::bogus_kind, 0, "x");
+}
+""",
+}
+
+CLEAN = {
+    "src/agent/good.cc": """
+void good(mar::sim::Simulator& sim) {
+  const auto now = sim.time();  // member access: not wall-clock time()
+  (void)now;
+  serial::Encoder sized(64);
+  sized.write_u64(now);
+  serial::Encoder grown;
+  grown.reserve(128);
+  serial::Encoder tiny;  // mar-lint: small-frame
+  (void)tiny;
+}
+""",
+}
+
+
+def self_test():
+    with tempfile.TemporaryDirectory(prefix="mar-lint-") as td:
+        root = pathlib.Path(td)
+        real_root = pathlib.Path(__file__).resolve().parent.parent
+        for name in ("src/util/trace.h", "src/util/trace.cc"):
+            src = real_root / name
+            dst = root / name
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            dst.write_text(src.read_text())
+        for name, body in {**SEEDED, **CLEAN}.items():
+            dst = root / name
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            dst.write_text(body)
+
+        findings = run_lint(root)
+        fired = {f.rule for f in findings}
+        expected = {"R1", "R2", "R3", "R4", "R5"}
+        ok = True
+        for rule in sorted(expected):
+            status = "fires" if rule in fired else "MISSED"
+            print(f"self-test: {rule} {status}")
+            ok &= rule in fired
+        false_pos = [f for f in findings if "good.cc" in str(f.path)]
+        for f in false_pos:
+            print(f"self-test: FALSE POSITIVE {f}")
+        ok &= not false_pos
+        # The seeded tree must make a plain run exit non-zero.
+        ok &= bool(findings)
+        print(f"self-test: seeded tree yields {len(findings)} finding(s), "
+              f"plain run would exit {1 if findings else 0}")
+        return 0 if ok else 2
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify each rule fires on a seeded violation")
+    ap.add_argument("files", nargs="*",
+                    help="specific files to lint (default: all of src/)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    root = pathlib.Path(args.root) if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    if not (root / "src").is_dir():
+        print(f"mar-lint: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+
+    findings = run_lint(root, args.files or None)
+    for f in findings:
+        print(f)
+    print(f"mar-lint: {len(findings)} finding(s) in "
+          f"{'%d file(s)' % len(set(str(f.path) for f in findings)) if findings else 'src/'}")
+    sys.exit(1 if findings else 0)
+
+
+if __name__ == "__main__":
+    main()
