@@ -21,6 +21,7 @@
 // locality-heavy pair itinerary; convoy window 4 cuts participant
 // syncs/hop by at least 2x; and the delta-shipped final agent state is
 // bit-identical to the full-image run under injected crashes.
+#include <algorithm>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -60,6 +61,9 @@ struct RunResult {
   bool ok = false;
   std::uint64_t convoy_bytes = 0;
   std::uint64_t participant_syncs = 0;
+  std::uint64_t coordinator_syncs = 0;
+  std::uint64_t pipeline_depth_max = 0;
+  std::uint64_t prepare_bytes = 0;  ///< tx.prepare wire bytes (0 = piggybacked)
   std::uint64_t delta_ships = 0;
   sim::TimeUs sim_us = 0;
   serial::Bytes final_agent;  ///< single-agent runs only
@@ -67,14 +71,18 @@ struct RunResult {
 
 RunResult run_course(bool delta, int node_count, int age, int hops,
                      int fleet, std::uint32_t convoy_window,
-                     std::uint64_t crash_seed = 0) {
+                     std::uint64_t crash_seed = 0, int concurrency = 0,
+                     std::uint32_t group_window = 0) {
   PlatformConfig cfg;
   cfg.ship_delta = delta;
   cfg.ship_convoy_window = convoy_window;
   // The window sweep contrasts the whole coalescing stack: convoy
-  // batching AND the participant/local group commit it feeds.
-  cfg.group_commit_window = convoy_window;
-  cfg.node_concurrency = fleet > 1 ? 4 : 1;
+  // batching AND the participant/local group commit it feeds. The
+  // pipeline cell overrides the coupling to hold the commit window at
+  // its default while convoys ride wider.
+  cfg.group_commit_window = group_window != 0 ? group_window : convoy_window;
+  cfg.node_concurrency = concurrency != 0 ? concurrency
+                                          : (fleet > 1 ? 4 : 1);
   cfg.discard_log_on_top_level = false;  // the aged log is the point
   TestWorld w(cfg, node_count, /*seed=*/13);
   harness::register_workload(w.platform);
@@ -114,11 +122,16 @@ RunResult run_course(bool delta, int node_count, int age, int hops,
   if (auto it = by_type.find("ship.convoy"); it != by_type.end()) {
     res.convoy_bytes = it->second;
   }
+  if (auto it = by_type.find(tx::msg::prepare); it != by_type.end()) {
+    res.prepare_bytes = it->second;
+  }
   for (int n = 1; n <= node_count; ++n) {
-    res.participant_syncs +=
-        w.platform.node(TestWorld::n(n)).txm().participant_syncs();
-    res.delta_ships +=
-        w.platform.node(TestWorld::n(n)).shipments().stats().delta_ships;
+    auto& node = w.platform.node(TestWorld::n(n));
+    res.participant_syncs += node.txm().participant_syncs();
+    res.coordinator_syncs += node.txm().stats().coordinator_syncs;
+    res.pipeline_depth_max = std::max<std::uint64_t>(
+        res.pipeline_depth_max, node.txm().stats().pipeline_depth_max);
+    res.delta_ships += node.shipments().stats().delta_ships;
   }
   return res;
 }
@@ -291,6 +304,58 @@ int main(int argc, char** argv) {
   report.row()
       .set("phase", "convoy_check")
       .set("sync_reduction", syncs_w1 / (syncs_w4 > 0 ? syncs_w4 : 1e-9));
+
+  // Pipelined-commit cell: a wide fleet ping-pongs with the coordinator
+  // decision queue live (group window 4), PREPAREs piggybacked on the
+  // convoy frames and a high slot count, so hops overlap deeply. Gates:
+  //   * coordinator decision syncs/hop < 0.25 (one batched flush covers
+  //     many same-instant votes);
+  //   * zero tx.prepare wire bytes — a convoy costs ONE round trip, the
+  //     transfer doubles as the prepare;
+  //   * pipeline_depth_max > 32 — the node really keeps that many
+  //     transactions in flight at once.
+  const int pipe_fleet = 48;
+  const int pipe_hops = 16;
+  const std::uint32_t pipe_group_window = 4;
+  const std::uint32_t pipe_convoy_window = 16;
+  const int pipe_concurrency = 64;
+  const auto pipe = run_course(/*delta=*/true, 2, /*age=*/0, pipe_hops,
+                               pipe_fleet, pipe_convoy_window,
+                               /*crash_seed=*/0, pipe_concurrency,
+                               pipe_group_window);
+  const double total_pipe_hops =
+      static_cast<double>(pipe_fleet) * pipe_hops;
+  const double coord_syncs_per_hop =
+      static_cast<double>(pipe.coordinator_syncs) / total_pipe_hops;
+  const double pipe_hops_per_sec =
+      total_pipe_hops / (static_cast<double>(pipe.sim_us) * 1e-6);
+  const bool pipe_syncs_ok = coord_syncs_per_hop < 0.25;
+  const bool one_round_trip = pipe.prepare_bytes == 0;
+  const bool deep = pipe.pipeline_depth_max > 32;
+  std::cout << "\npipelined commit (fleet " << pipe_fleet << ", window "
+            << pipe_group_window << ", convoy " << pipe_convoy_window
+            << "): coord syncs/hop " << std::setprecision(3)
+            << coord_syncs_per_hop << " (<0.25 "
+            << (pipe_syncs_ok ? "OK" : "MISMATCH") << "), prepare bytes "
+            << pipe.prepare_bytes << " (one round trip "
+            << (one_round_trip ? "OK" : "MISMATCH") << "), depth max "
+            << pipe.pipeline_depth_max << " (>32 "
+            << (deep ? "OK" : "MISMATCH") << ")\n";
+  const bool pipeline_ok =
+      pipe.ok && pipe_syncs_ok && one_round_trip && deep;
+  shape_ok = shape_ok && pipeline_ok;
+  report.row()
+      .set("phase", "pipeline")
+      .set("group_commit_window", static_cast<int>(pipe_group_window))
+      .set("ship_convoy_window", static_cast<int>(pipe_convoy_window))
+      .set("node_concurrency", pipe_concurrency)
+      .set("fleet", pipe_fleet)
+      .set("hops", pipe_hops)
+      .set("coordinator_syncs_per_hop", coord_syncs_per_hop)
+      .set("pipeline_depth_max", pipe.pipeline_depth_max)
+      .set("prepare_bytes", pipe.prepare_bytes)
+      .set("hops_per_sec", pipe_hops_per_sec)
+      .set("ok", pipeline_ok);
 
   // Fault-injected bit-identity: under an identical crash schedule the
   // delta-shipped run's final agent state must equal the full-image

@@ -54,6 +54,10 @@ GATED_FIELDS = {
     # channel cache or the convoy/participant coalescing regressed.
     "bytes_per_hop": (0.10, 64),
     "syncs_per_hop": (0.10, 0.05),
+    # A7 pipelined commit: coordinator decision syncs per agent-hop. The
+    # decision queue amortizes these well below 1; growth means the
+    # pipelined flush (or the PREPARE piggyback feeding it) regressed.
+    "coordinator_syncs_per_hop": (0.10, 0.02),
 }
 
 
@@ -99,9 +103,21 @@ def diff_rows(bench, baseline_rows, fresh_rows):
         old = candidates.pop(0)
         matched += 1
         for field in old:
-            if field not in new or not (
-                is_number(old[field]) and is_number(new[field])
-            ):
+            if field not in new:
+                # A gated health metric silently vanishing from the fresh
+                # report would otherwise un-gate itself: fail loudly.
+                if field in GATED_FIELDS and is_number(old[field]):
+                    failures.append(
+                        f"{bench}: [{key}] gated metric `{field}` missing "
+                        "from the fresh run"
+                    )
+                continue
+            if not (is_number(old[field]) and is_number(new[field])):
+                if field in GATED_FIELDS and is_number(old[field]):
+                    failures.append(
+                        f"{bench}: [{key}] gated metric `{field}` is no "
+                        f"longer numeric ({new[field]!r}) in the fresh run"
+                    )
                 continue
             a, b = old[field], new[field]
             if a == b or field in ID_FIELDS:

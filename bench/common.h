@@ -1,5 +1,5 @@
 // Shared benchmark scaffolding: standard rollback scenarios and metric
-// extraction used by the experiment binaries (see DESIGN.md §8).
+// extraction used by the experiment binaries (see DESIGN.md §9).
 #pragma once
 
 #include <cstdint>

@@ -49,7 +49,10 @@ for bench in "${BENCHES[@]}"; do
   fi
   echo "--- $bench"
   rc=0
+  t0=$(date +%s%N)
   "$bin" --json "$tmpdir/$bench.json" || rc=$?
+  t1=$(date +%s%N)
+  wall=$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", (b - a) / 1e9}')
   if [[ $rc -ne 0 ]]; then
     echo "--- $bench: FAILED (exit $rc)" >&2
     failed+=("$bench")
@@ -67,8 +70,24 @@ for bench in "${BENCHES[@]}"; do
     valid=0
   fi
   if [[ $valid -eq 0 ]]; then
-    printf '{"bench": "%s", "ok": false, "rows": []}\n' "${bench#bench_}" \
-      > "$tmpdir/$bench.json"
+    printf '{"bench": "%s", "ok": false, "wall_seconds": %s, "rows": []}\n' \
+      "${bench#bench_}" "$wall" > "$tmpdir/$bench.json"
+  elif command -v python3 >/dev/null 2>&1; then
+    # Record the real elapsed time of the bench run so pipeline-depth
+    # changes show up as wall-clock wins, not just virtual-time counters.
+    # Report-level field: never row-diffed by bench_diff.py, so machine
+    # variance can't fail a gate.
+    python3 - "$tmpdir/$bench.json" "$wall" <<'PY'
+import json
+import sys
+
+path, wall = sys.argv[1], float(sys.argv[2])
+with open(path, encoding="utf-8") as f:
+    report = json.load(f)
+report["wall_seconds"] = wall
+with open(path, "w", encoding="utf-8") as f:
+    json.dump(report, f, indent=1)
+PY
   fi
   ran+=("$bench")
 done

@@ -29,6 +29,7 @@ NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
   if (platform.config().lock_audit) rm_.enable_lock_audit();
   txm_.set_group_commit(platform.config().group_commit_window,
                         platform.config().group_commit_flush_us);
+  txm_.set_trace(&platform.trace());
 }
 
 void NodeRuntime::trace(TraceKind kind, std::string detail) {
@@ -478,8 +479,25 @@ void NodeRuntime::stage_and_commit(TxId tx, NodeId dest, QueueRecord record,
   }
   // Remote staging rides the destination's convoy: the shipment manager
   // batches transfers, delta-ships against the channel cache and handles
-  // full-image fallback and timeouts; we only see the final outcome.
+  // full-image fallback and timeouts.
   txm_.enlist_remote(tx, dest);
+  if (txm_.pipelined()) {
+    // Pipelined commit: the convoy frame carries the PREPARE, so the
+    // commit machinery starts NOW instead of after a staging ack round
+    // trip — one round trip covers transfer + vote, and the batched
+    // decision flush amortizes the coordinator sync across every
+    // transaction decided in the window. The continuation in `done`
+    // re-pumps the scheduler slot at ack drain. A shipment timeout
+    // aborts only while votes are still outstanding (once decided, the
+    // timeout is stale).
+    txm_.note_piggybacked(tx, dest);
+    ship_.stage_remote(tx, dest, std::move(record),
+                       [this, tx](bool ok) {
+                         if (!ok) txm_.abort_if_preparing(tx);
+                       });
+    txm_.commit_async(tx, std::move(done));
+    return;
+  }
   ship_.stage_remote(tx, dest, std::move(record),
                      [this, tx, done = std::move(done)](bool ok) {
                        if (!ok) {

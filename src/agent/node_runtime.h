@@ -62,6 +62,7 @@ class NodeRuntime {
   [[nodiscard]] storage::StableStorage& storage() { return storage_; }
   [[nodiscard]] resource::ResourceManager& resources() { return rm_; }
   [[nodiscard]] tx::TxManager& txm() { return txm_; }
+  [[nodiscard]] const tx::TxManager& txm() const { return txm_; }
   [[nodiscard]] ship::ShipmentManager& shipments() { return ship_; }
 
   /// Network handler entry point (registered by the Platform).

@@ -27,6 +27,11 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
 /// Convoy entry modes.
 constexpr std::uint8_t kFullFrame = 0;
 constexpr std::uint8_t kDeltaFrame = 1;
+/// OR'd into the frame-mode byte when the coordinator runs the pipelined
+/// commit path: the convoy entry doubles as the 2PC PREPARE for its
+/// transaction, so a transfer costs one round trip — no tx.prepare
+/// message ever crosses the wire for a convoyed hop.
+constexpr std::uint8_t kPrepareFlag = 2;
 /// Per-entry ack statuses.
 constexpr std::uint8_t kStaged = 0;
 constexpr std::uint8_t kNeedFull = 1;
@@ -103,6 +108,9 @@ void ShipmentManager::encode_frame(Pending& p) {
   // would have to run the diff twice.
   serial::Encoder enc;  // mar-lint: small-frame
   enc.write_u64(p.tx.value());
+  // Piggybacked PREPARE: with the pipelined coordinator the frame itself
+  // asks the receiver to prepare-and-vote once it staged the transfer.
+  const std::uint8_t prep = txm_.pipelined() ? kPrepareFlag : 0;
   p.delta = false;
   if (cfg.ship_delta && !p.record.payload.empty()) {
     if (auto* base = send_cache_.find(p.dest, p.record.agent)) {
@@ -126,7 +134,7 @@ void ShipmentManager::encode_frame(Pending& p) {
               cfg.ship_delta_max_ratio *
                   static_cast<double>(p.record.payload.size())) {
         p.delta = true;
-        enc.write_u8(kDeltaFrame);
+        enc.write_u8(kDeltaFrame | prep);
         // The delta frame carries the record verbatim minus its payload
         // (the delta follows instead). Swapping the payload aside keeps
         // the copy cheap AND future record fields on the delta path.
@@ -145,7 +153,7 @@ void ShipmentManager::encode_frame(Pending& p) {
     }
   }
   if (!p.delta) {
-    enc.write_u8(kFullFrame);
+    enc.write_u8(kFullFrame | prep);
     p.record.serialize(enc);
     ++stats_.full_images;
   }
@@ -250,7 +258,9 @@ void ShipmentManager::on_convoy(const net::Message& m) {
   for (std::uint64_t i = 0; i < count; ++i) {
     serial::Decoder entry(dec.read_bytes_view());
     const TxId tx(entry.read_u64());
-    const auto mode = entry.read_u8();
+    const auto mode_byte = entry.read_u8();
+    const bool prepare_rides = (mode_byte & kPrepareFlag) != 0;
+    const std::uint8_t mode = mode_byte & static_cast<std::uint8_t>(~kPrepareFlag);
     storage::QueueRecord rec;
     rec.deserialize(entry);
     std::uint8_t status = kStaged;
@@ -304,6 +314,13 @@ void ShipmentManager::on_convoy(const net::Message& m) {
       }
       txm_.note_remote_staged(tx);
       qm_.stage_enqueue(tx, std::move(rec));
+    }
+    // The staged entry doubles as the PREPARE (one round trip): queue the
+    // prepare-and-vote now that the staged state exists. A kNeedFull
+    // entry staged nothing, so no vote leaves — the full-image retry
+    // carries the prepare again.
+    if (prepare_rides && status == kStaged) {
+      txm_.on_piggybacked_prepare(tx, m.from);
     }
     ack.write_u64(tx.value());
     ack.write_u8(status);

@@ -49,8 +49,30 @@ std::string TxManager::prepared_key(TxId tx) const {
 
 TxId TxManager::begin() {
   const TxId tx = make_tx_id(self_, next_tx_++);
-  coords_.emplace(tx, Coord{});
+  Coord& c = coords_[tx];
+  c.counted = true;
+  inflight_add();
   return tx;
+}
+
+void TxManager::inflight_add() {
+  ++inflight_;
+  stats_.inflight_tx.store(inflight_);
+  if (inflight_ > stats_.pipeline_depth_max.load()) {
+    stats_.pipeline_depth_max.store(inflight_);
+  }
+}
+
+void TxManager::inflight_remove() {
+  MAR_DCHECK(inflight_ > 0);
+  --inflight_;
+  stats_.inflight_tx.store(inflight_);
+}
+
+void TxManager::trace_pipeline(const char* what, TxId tx) {
+  if (!trace_) return;
+  trace_->emit(sim_.now(), TraceKind::tx_pipeline, self_.value(),
+               std::string(what) + " tx=" + std::to_string(tx.value()));
 }
 
 void TxManager::enlist_remote(TxId tx, NodeId node) {
@@ -131,9 +153,17 @@ void TxManager::commit_async(TxId tx, CommitCallback cb) {
   }
   c.phase = Phase::preparing;
   c.votes_pending = c.remotes;
-  for (const auto n : c.remotes) send(n, msg::prepare, tx);
+  for (const auto n : c.remotes) {
+    // A piggybacked remote sees its PREPARE inside the convoy frame that
+    // carries the staged state — one round trip, no tx.prepare message.
+    if (c.piggybacked.contains(n)) continue;
+    send(n, msg::prepare, tx);
+  }
   // Re-drive PREPARE until all votes arrive: a participant that crashed
   // before staging will answer NO, resolving the transaction either way.
+  // For piggybacked remotes this is the fallback when the convoy (and its
+  // embedded prepare) was lost to a crash: an explicit PREPARE finds no
+  // staged state, draws a NO vote, and resolves to presumed abort.
   const auto epoch = epoch_;
   auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
     if (epoch != epoch_) return;
@@ -151,6 +181,18 @@ void TxManager::abort_tx(TxId tx) {
   auto it = coords_.find(tx);
   MAR_CHECK_MSG(it != coords_.end(), "abort on unknown tx " << tx);
   decide_abort(tx, it->second);
+}
+
+void TxManager::abort_if_preparing(TxId tx) {
+  auto it = coords_.find(tx);
+  if (it == coords_.end() || it->second.phase != Phase::preparing) return;
+  decide_abort(tx, it->second);
+}
+
+void TxManager::note_piggybacked(TxId tx, NodeId node) {
+  auto it = coords_.find(tx);
+  MAR_CHECK_MSG(it != coords_.end(), "piggyback on unknown tx " << tx);
+  it->second.piggybacked.insert(node);
 }
 
 void TxManager::flush_commit_group() {
@@ -173,6 +215,7 @@ void TxManager::flush_commit_group() {
   stable_.sync();
   for (auto& [tx, cb] : batch) {
     (void)tx;
+    inflight_remove();
     if (cb) cb(true);
   }
 }
@@ -189,12 +232,28 @@ void TxManager::schedule_group_flush() {
 }
 
 void TxManager::decide_commit(TxId tx, Coord& c) {
+  if (group_window_ > 1) {
+    // Pipelined coordinator: the decision is made but its durability
+    // record queues for the batched flush — many decisions, one sync.
+    // Until the flush nothing is persisted or applied, so a crash here
+    // resolves to presumed abort exactly like an undecided transaction.
+    c.phase = Phase::deciding;
+    decision_queue_.push_back(tx);
+    trace_pipeline("decided", tx);
+    schedule_decision_flush(decision_queue_.size() >= group_window_);
+    return;
+  }
   persist_decision(tx, c.remotes);
   commit_locals(tx);
   stable_.sync();
+  ++stats_.coordinator_syncs;
   c.phase = Phase::committing;
   c.acks_pending = c.remotes;
   for (const auto n : c.remotes) send(n, msg::commit, tx);
+  arm_commit_redrive(tx);
+}
+
+void TxManager::arm_commit_redrive(TxId tx) {
   // Re-drive COMMIT until every participant acknowledged.
   const auto epoch = epoch_;
   auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
@@ -209,6 +268,65 @@ void TxManager::decide_commit(TxId tx, Coord& c) {
                       [redrive]() mutable { redrive(redrive); });
 }
 
+void TxManager::flush_decision_group() {
+  ++decision_flush_gen_;
+  decision_flush_pending_ = false;
+  decision_flush_hot_ = false;
+  if (decision_queue_.empty()) return;
+  auto batch = std::move(decision_queue_);
+  decision_queue_.clear();
+  std::vector<TxId> flushed;
+  flushed.reserve(batch.size());
+  for (const TxId tx : batch) {
+    auto it = coords_.find(tx);
+    if (it == coords_.end() || it->second.phase != Phase::deciding) continue;
+    Coord& c = it->second;
+    persist_decision(tx, c.remotes);
+    commit_locals(tx);
+    c.phase = Phase::committing;
+    c.acks_pending = c.remotes;
+    flushed.push_back(tx);
+  }
+  if (flushed.empty()) return;
+  // ONE metered sync makes the whole batch of decision records (and their
+  // local applies) durable — the coordinator half of group commit. The
+  // completion callbacks still fire at ack drain (finish), preserving the
+  // invariant callers rely on: a finished transaction's effects are
+  // applied at every participant, not merely decided.
+  stable_.sync();
+  ++stats_.coordinator_syncs;
+  for (const TxId tx : flushed) {
+    auto it = coords_.find(tx);
+    MAR_CHECK(it != coords_.end());
+    for (const auto n : it->second.acks_pending) send(n, msg::commit, tx);
+    arm_commit_redrive(tx);
+    trace_pipeline("flushed", tx);
+  }
+}
+
+void TxManager::schedule_decision_flush(bool hot) {
+  const auto epoch = epoch_;
+  const auto gen = decision_flush_gen_;
+  if (hot) {
+    if (decision_flush_hot_) return;
+    decision_flush_hot_ = true;
+    // after(0) runs behind the message deliveries already queued for this
+    // instant, so a burst of votes larger than the window still lands in
+    // ONE batch (the window is a floor for the flush, not a batch cap).
+    sim_.schedule_after(0, [this, epoch, gen] {
+      if (epoch != epoch_ || gen != decision_flush_gen_) return;
+      flush_decision_group();
+    });
+    return;
+  }
+  if (decision_flush_pending_ || decision_flush_hot_) return;
+  decision_flush_pending_ = true;
+  sim_.schedule_after(group_flush_us_, [this, epoch, gen] {
+    if (epoch != epoch_ || gen != decision_flush_gen_) return;
+    flush_decision_group();
+  });
+}
+
 void TxManager::decide_abort(TxId tx, Coord& c) {
   abort_locals(tx);
   for (const auto n : c.remotes) send(n, msg::abort, tx);
@@ -217,6 +335,7 @@ void TxManager::decide_abort(TxId tx, Coord& c) {
 
 void TxManager::finish(TxId tx, Coord& c, bool committed) {
   auto cb = std::move(c.callback);
+  if (c.counted) inflight_remove();
   coords_.erase(tx);
   if (cb) cb(committed);
 }
@@ -437,6 +556,7 @@ void TxManager::on_message(const net::Message& m) {
     c.acks_pending.erase(m.from);
     if (c.acks_pending.empty()) {
       stable_.erase(decision_key(tx));
+      if (group_window_ > 1) trace_pipeline("acked", tx);
       finish(tx, c, true);
     }
   } else if (t == msg::abort) {
@@ -459,6 +579,15 @@ void TxManager::on_crash() {
   // and their records stay queued (restartability).
   commit_queue_.clear();
   flush_pending_ = false;
+  // Queued decisions were never persisted: their prepared participants
+  // resolve to presumed abort through the inquiry protocol, their own
+  // prepared markers through the recovery scan — exactly-once holds
+  // because nothing was applied anywhere.
+  decision_queue_.clear();
+  decision_flush_pending_ = false;
+  decision_flush_hot_ = false;
+  inflight_ = 0;
+  stats_.inflight_tx.store(0);
   // Likewise the participant-side batch: queued prepares never voted (the
   // coordinator presumes abort from the silence), queued commit applies
   // are re-driven by the coordinator / resolved by inquiry.
@@ -512,26 +641,16 @@ void TxManager::on_recover() {
     for (const auto node : c.remotes) send(node, msg::commit, tx);
     auto [it, inserted] = coords_.emplace(tx, std::move(c));
     MAR_CHECK(inserted);
-    // Re-arm the COMMIT re-drive loop.
-    const auto epoch = epoch_;
-    auto redrive = [this, tx, epoch](auto&& self_fn) -> void {
-      if (epoch != epoch_) return;
-      auto cit = coords_.find(tx);
-      if (cit == coords_.end()) return;
-      for (const auto node : cit->second.acks_pending) {
-        send(node, msg::commit, tx);
-      }
-      sim_.schedule_after(inquiry_interval_,
-                          [self_fn]() mutable { self_fn(self_fn); });
-    };
-    sim_.schedule_after(inquiry_interval_,
-                        [redrive]() mutable { redrive(redrive); });
+    // Re-arm the COMMIT re-drive loop. The rebuilt entry is not counted
+    // in the inflight gauge: its caller's callback died with the crash.
+    arm_commit_redrive(tx);
   }
 }
 
 bool TxManager::idle() const {
   if (!coords_.empty() || !in_doubt_.empty() || !commit_queue_.empty() ||
-      !prepare_queue_.empty() || !apply_queue_.empty()) {
+      !decision_queue_.empty() || !prepare_queue_.empty() ||
+      !apply_queue_.empty()) {
     return false;
   }
   return stable_.keys_with_prefix("txdec:").empty() &&

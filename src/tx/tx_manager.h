@@ -30,10 +30,27 @@
 #include "storage/stable_storage.h"
 #include "sim/simulator.h"
 #include "tx/participant.h"
+#include "util/counters.h"
 #include "util/ids.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace mar::tx {
+
+/// Commit-pipeline observability (RelaxedCounter: safe to sample from a
+/// monitor thread mid-run).
+struct TxStats {
+  /// Gauge: transactions this node coordinates that have begun but not
+  /// reached `done` (callback fired AND protocol forgotten). With the
+  /// pipelined coordinator this is the number of overlapping commits.
+  RelaxedCounter inflight_tx;
+  /// Stable-storage syncs paid for coordinator decision durability. At
+  /// window <= 1 this is one per decided distributed commit; the pipelined
+  /// decision queue amortizes many decisions into one.
+  RelaxedCounter coordinator_syncs;
+  /// High-water mark of inflight_tx.
+  RelaxedCounter pipeline_depth_max;
+};
 
 /// Builds the TxId for the `n`-th transaction coordinated by `node`.
 [[nodiscard]] constexpr TxId make_tx_id(NodeId node, std::uint64_t counter) {
@@ -79,6 +96,23 @@ class TxManager {
   void commit_async(TxId tx, CommitCallback cb);
   /// Abort a transaction this node coordinates.
   void abort_tx(TxId tx);
+  /// Abort `tx` only if it is still collecting votes. Used by transfer
+  /// timeouts in the pipelined path, where the commit machinery runs
+  /// concurrently with the shipment: once a decision exists (or the
+  /// transaction is gone) the timeout is stale and must not fire the
+  /// callback a second time.
+  void abort_if_preparing(TxId tx);
+  /// Mark `node` as receiving its PREPARE piggybacked on the shipment
+  /// frame itself (ship.convoy): commit_async must not send a separate
+  /// tx.prepare to it. The vote arrives as usual; the re-drive loop falls
+  /// back to explicit PREPAREs, which a participant that never saw the
+  /// convoy answers with NO (presumed abort + caller retry).
+  void note_piggybacked(TxId tx, NodeId node);
+
+  /// True when the coordinator runs the pipelined commit path (window >
+  /// 1): decisions queue for a batched single-sync flush and PREPAREs
+  /// ride the convoy frames (one round trip per hop).
+  [[nodiscard]] bool pipelined() const { return group_window_ > 1; }
 
   // --- participant side -----------------------------------------------------
   /// Note that a remote coordinator staged state at this node (e.g. an
@@ -86,6 +120,13 @@ class TxManager {
   /// inquiry timer so an orphaned transaction is eventually presumed
   /// aborted and its staged state (and locks) released.
   void note_remote_staged(TxId tx);
+  /// A PREPARE carried inside a ship.convoy frame (one round trip: the
+  /// transfer IS the prepare). Routes into the same vote machinery as a
+  /// tx.prepare message; convoys deliver whole batches of these at once,
+  /// so the participant window flushes them under one shared barrier.
+  void on_piggybacked_prepare(TxId tx, NodeId coordinator) {
+    handle_prepare(tx, coordinator);
+  }
 
   // --- wiring ---------------------------------------------------------------
   /// Dispatch one tx.* message (the platform owns the node's handler).
@@ -106,7 +147,16 @@ class TxManager {
     return participant_syncs_;
   }
 
+  /// Commit-pipeline counters (monitor-thread-safe).
+  [[nodiscard]] const TxStats& stats() const { return stats_; }
+
   [[nodiscard]] NodeId self() const { return self_; }
+
+  /// Attach a trace sink; the pipeline emits TraceKind::tx_pipeline
+  /// transitions (decided/flushed/acked) so one transaction's pipeline
+  /// latency can be reconstructed from a trace dump. Optional — tests that
+  /// construct TxManager directly run untraced.
+  void set_trace(TraceSink* trace) { trace_ = trace; }
 
   /// Interval at which in-doubt participants re-ask the coordinator.
   void set_inquiry_interval(sim::TimeUs t) { inquiry_interval_ = t; }
@@ -138,12 +188,28 @@ class TxManager {
   }
 
  private:
-  enum class Phase { preparing, committing };
+  /// Coordinator-side per-transaction state machine. The pipelined path
+  /// (window > 1) adds `deciding`: all votes are in, the decision record
+  /// sits in decision_queue_ awaiting the batched durability flush (ONE
+  /// sync for the whole batch), after which the transaction drains acks
+  /// in `committing`. The callback fires at ack drain, preserving the
+  /// caller-visible invariant that a finished transaction's effects are
+  /// applied at every participant.
+  ///
+  ///   preparing --all votes--> deciding --flush--> committing --acks--> done
+  ///       |                        \ (crash: nothing persisted ->
+  ///       +--NO vote/abort--> done    presumed abort)
+  enum class Phase { preparing, deciding, committing };
   struct Coord {
     std::set<NodeId> remotes;
     std::set<NodeId> votes_pending;
     std::set<NodeId> acks_pending;
+    /// Remotes whose PREPARE rides the convoy frame (no tx.prepare sent).
+    std::set<NodeId> piggybacked;
     Phase phase = Phase::preparing;
+    /// Whether this entry came through begin() and is counted in the
+    /// inflight gauge (recovery-rebuilt entries are not).
+    bool counted = false;
     CommitCallback callback;
   };
 
@@ -154,6 +220,18 @@ class TxManager {
   /// Apply every queued local commit, pay one sync, run the callbacks.
   void flush_commit_group();
   void schedule_group_flush();
+  /// Persist every queued commit decision, pay ONE metered sync, send the
+  /// COMMITs (pipelined coordinator; callbacks fire later, at ack drain).
+  void flush_decision_group();
+  /// Arm the decision flush: `hot` schedules an immediate (same-instant)
+  /// flush once the window filled — it still runs after every event
+  /// already queued for this timestamp, so a burst of votes larger than
+  /// the window shares one barrier; otherwise dwell group_flush_us_.
+  void schedule_decision_flush(bool hot);
+  void arm_commit_redrive(TxId tx);
+  /// Inflight gauge maintenance (mirrors into stats_, tracks high water).
+  void inflight_add();
+  void inflight_remove();
   bool prepare_locals(TxId tx);
   void commit_locals(TxId tx);
   void abort_locals(TxId tx);
@@ -173,6 +251,7 @@ class TxManager {
   void persist_prepared_marker(TxId tx);
   void clear_prepared_marker(TxId tx);
   void schedule_inquiry(TxId tx);
+  void trace_pipeline(const char* what, TxId tx);
 
   [[nodiscard]] std::string decision_key(TxId tx) const;
   [[nodiscard]] std::string prepared_key(TxId tx) const;
@@ -201,6 +280,24 @@ class TxManager {
   std::uint64_t flush_gen_ = 0;
   std::uint32_t group_window_ = 1;
   sim::TimeUs group_flush_us_ = 100;
+
+  /// Pipelined coordinator (window > 1): fully-voted distributed commits
+  /// whose decision records await the batched durability flush. Volatile —
+  /// a crash before the flush persisted nothing, so the prepared
+  /// participants resolve to presumed abort through their inquiries,
+  /// exactly as if the coordinator had never decided.
+  std::vector<TxId> decision_queue_;
+  bool decision_flush_pending_ = false;  ///< dwell timer armed
+  bool decision_flush_hot_ = false;      ///< same-instant flush armed
+  std::uint64_t decision_flush_gen_ = 0;
+
+  /// Coordinated transactions begun but not yet done (plain counter: all
+  /// mutation happens on the owning sim thread; stats_ carries the
+  /// cross-thread-readable mirror).
+  std::uint64_t inflight_ = 0;
+
+  TxStats stats_;
+  TraceSink* trace_ = nullptr;
 
   /// Participant-side pending work awaiting the batched flush (window >
   /// 1): PREPAREs not yet persisted/voted and COMMITs not yet

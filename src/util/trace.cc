@@ -26,6 +26,7 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::sp_gc: return "SP-GC";
     case TraceKind::crash: return "CRASH";
     case TraceKind::recover: return "RECOVER";
+    case TraceKind::tx_pipeline: return "TX-PIPELINE";
     case TraceKind::msg: return "MSG";
   }
   return "?";

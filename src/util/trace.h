@@ -37,6 +37,7 @@ enum class TraceKind {
   sp_gc,            ///< A savepoint entry garbage-collected from the log.
   crash,            ///< Node crashed.
   recover,          ///< Node recovered.
+  tx_pipeline,      ///< Commit-pipeline transition (decided/flushed/acked).
   msg,              ///< Free-form message.
 };
 

@@ -232,8 +232,10 @@ TEST(MultiAgentTest, CancelRequestRollsBackARunningAgent) {
   agent->itinerary() = std::move(main);
   auto id = w.platform.launch(std::move(agent));
   ASSERT_TRUE(id.is_ok());
-  // Cancel while the agent is mid-itinerary.
-  w.sim.schedule_at(8'000, [&] { w.platform.request_cancel(id.value()); });
+  // Cancel while the agent is mid-itinerary (the pipelined commit path
+  // finishes the course faster, so the request lands well before the
+  // final step rather than near the old 8 ms mark).
+  w.sim.schedule_at(5'000, [&] { w.platform.request_cancel(id.value()); });
   ASSERT_TRUE(w.platform.run_until_finished(id.value()));
   EXPECT_EQ(w.platform.outcome(id.value()).state,
             AgentOutcome::State::cancelled);

@@ -204,10 +204,14 @@ TEST(ShipTest, ReceiverCrashForcesFullResync) {
   PlatformConfig cfg;
   TestWorld w(cfg, 2, 11);
   register_workload(w.platform);
-  // Wipe N2's receive cache mid-run: the next delta towards it references
-  // a base (and channel epoch) N2 no longer has — answered need_full, and
-  // the channel re-establishes itself with a full image.
-  w.faults.crash_at(TestWorld::n(2), 40'000, 5'000);
+  // Wipe N2's receive cache mid-run — while an N1->N2 delta convoy is in
+  // flight, so the transfer times out and is retried under a fresh
+  // transaction. The retried delta references a base (and channel epoch)
+  // N2 no longer has — answered need_full, and the channel re-establishes
+  // itself with a full image. (With the piggybacked PREPARE a convoy is
+  // one round trip, so the crash must intercept the convoy itself; there
+  // is no separate stage-ack window any more.)
+  w.faults.crash_at(TestWorld::n(2), 38'500, 5'000);
   auto ag = std::make_unique<WorkloadAgent>();
   ag->itinerary() = ping_pong(8, 16);
   auto id = w.platform.launch(std::move(ag));
@@ -302,6 +306,28 @@ TEST(ShipTest, MidTransferCrashesStayExactlyOnceAndBitIdentical) {
     EXPECT_EQ(full_run.visits, 24) << "seed " << seed;
     // Bit-identical reconstruction: the delta-shipped agent's final
     // state equals the full-image run's, byte for byte.
+    EXPECT_EQ(delta_run.final_agent, full_run.final_agent)
+        << "seed " << seed;
+  }
+}
+
+TEST(ShipTest, PipelinedCommitCrashesStayExactlyOnceAndBitIdentical) {
+  // Same randomized kill schedule, with the full pipeline live: convoy
+  // window 4 carries piggybacked PREPAREs and the coordinator's decision
+  // queue batches its syncs. Kills now land between decide and flush
+  // (queued decisions presumed-abort) as well as mid-convoy; exactly-once
+  // arrival and bit-identical reconstruction must survive regardless.
+  for (const std::uint64_t seed : {404u, 505u, 707u}) {
+    PlatformConfig delta_cfg;
+    delta_cfg.ship_convoy_window = 4;  // default group window 4: pipelined
+    PlatformConfig full_cfg = delta_cfg;
+    full_cfg.ship_delta = false;
+    const auto delta_run = run_ping_pong(delta_cfg, 8, 16, seed);
+    const auto full_run = run_ping_pong(full_cfg, 8, 16, seed);
+    ASSERT_TRUE(delta_run.done) << "seed " << seed;
+    ASSERT_TRUE(full_run.done) << "seed " << seed;
+    EXPECT_EQ(delta_run.visits, 24) << "seed " << seed;
+    EXPECT_EQ(full_run.visits, 24) << "seed " << seed;
     EXPECT_EQ(delta_run.final_agent, full_run.final_agent)
         << "seed " << seed;
   }

@@ -455,6 +455,84 @@ TEST(TxManagerTest, PresumedAbortAfterCoordinatorCrash) {
   EXPECT_TRUE(n2.txm->idle());
 }
 
+TEST(TxManagerTest, CoordinatorCrashBetweenDecideAndFlush) {
+  // Pipelined coordinator: all votes are in and the decision sits in the
+  // decision queue awaiting its batched durability flush. A crash before
+  // the flush persisted nothing — no txdec: record exists — so the
+  // prepared participant's inquiry must resolve to presumed abort and
+  // both sides converge with nothing applied.
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  n1.txm->set_group_commit(8, 50'000);  // long dwell: decision stays queued
+  n2.txm->set_group_commit(1, 0);       // participant votes immediately
+  const TxId tx = n1.txm->begin();
+  n2.qm->stage_enqueue(tx, record(5));
+  n2.txm->note_remote_staged(tx);
+  n1.txm->enlist_remote(tx, NodeId(2));
+  n1.txm->commit_async(tx, [](bool) {});
+  // The vote is back ~2 round trips in; the decision then dwells in the
+  // queue until the 50 ms flush timer. Crash the coordinator inside that
+  // window, long before the flush.
+  w.sim.schedule_at(10'000, [&] { w.net.crash_node(NodeId(1)); });
+  w.sim.schedule_at(600'000, [&] { w.net.recover_node(NodeId(1)); });
+  w.sim.run();
+  EXPECT_TRUE(n1.storage.keys_with_prefix("txdec:").empty());
+  EXPECT_TRUE(n2.storage.queue_empty());  // presumed abort discarded staging
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, DecisionQueueSharesOneCoordinatorSync) {
+  // Four distributed commits decided in one same-instant burst flush
+  // under ONE coordinator sync, with the inflight gauge peaking at 4.
+  TxWorld w(2);
+  auto& n1 = w.n(1);
+  auto& n2 = w.n(2);
+  n1.txm->set_group_commit(4, 1'000);
+  n2.txm->set_group_commit(4, 100);
+  int committed = 0;
+  for (int i = 0; i < 4; ++i) {
+    const TxId tx = n1.txm->begin();
+    n2.qm->stage_enqueue(tx, record(1 + i));
+    n2.txm->note_remote_staged(tx);
+    n1.txm->enlist_remote(tx, NodeId(2));
+    n1.txm->commit_async(tx, [&](bool ok) { committed += ok ? 1 : 0; });
+  }
+  w.sim.run();
+  EXPECT_EQ(committed, 4);
+  EXPECT_EQ(n2.storage.queue().size(), 4u);
+  EXPECT_EQ(n1.txm->stats().coordinator_syncs.load(), 1u);
+  EXPECT_EQ(n1.txm->stats().pipeline_depth_max.load(), 4u);
+  EXPECT_TRUE(n1.txm->idle());
+  EXPECT_TRUE(n2.txm->idle());
+}
+
+TEST(TxManagerTest, GroupFlushCallbackMayStartTheNextCommit) {
+  // A completion callback delivered from the batched local flush
+  // immediately begins and commits the next transaction — re-entering
+  // the manager from inside its own flush loop must be safe.
+  TxWorld w(1);
+  auto& n1 = w.n(1);
+  n1.txm->set_group_commit(2, 100);
+  int committed = 0;
+  const TxId t1 = n1.txm->begin();
+  n1.qm->stage_enqueue(t1, record(1));
+  n1.txm->commit_async(t1, [&](bool ok) {
+    committed += ok ? 1 : 0;
+    const TxId t3 = n1.txm->begin();
+    n1.qm->stage_enqueue(t3, record(3));
+    n1.txm->commit_async(t3, [&](bool ok2) { committed += ok2 ? 1 : 0; });
+  });
+  const TxId t2 = n1.txm->begin();
+  n1.qm->stage_enqueue(t2, record(2));
+  n1.txm->commit_async(t2, [&](bool ok) { committed += ok ? 1 : 0; });
+  w.sim.run();
+  EXPECT_EQ(committed, 3);
+  EXPECT_EQ(n1.storage.queue().size(), 3u);
+  EXPECT_TRUE(n1.txm->idle());
+}
+
 TEST(TxManagerTest, DecisionRecordRedrivenAfterCoordinatorCrash) {
   // Coordinator crashes right after persisting the commit decision: on
   // recovery it must re-drive COMMIT from the decision record.

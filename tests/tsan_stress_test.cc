@@ -16,6 +16,7 @@
 //   * one TraceSink shared by every world in a parallel sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -177,22 +178,39 @@ TEST(TsanStressTest, MonitorThreadSamplesRunningWorld) {
   std::uint64_t polls = 0;
   std::uint64_t last_bytes = 0;
   std::uint64_t last_events = 0;
+  std::uint64_t last_coord_syncs = 0;
+  std::uint64_t last_depth_max = 0;
   bool monotonic = true;
   std::thread monitor([&] {
     while (!done.load(std::memory_order_acquire)) {
       std::uint64_t bytes = 0;
+      std::uint64_t coord_syncs = 0;
+      std::uint64_t depth_max = 0;
       for (int n = 1; n <= kNodes; ++n) {
         auto& rt = w.platform.node(TestWorld::n(n));
         bytes += rt.storage().stats().bytes_written;
         bytes += rt.storage().stats().ship_bytes_received;
         (void)static_cast<std::uint64_t>(
             rt.shipments().stats().wire_payload_bytes);
+        // Commit-pipeline gauges: the flush timers and decision queues
+        // are live while the monitor reads. inflight_tx is a gauge (it
+        // moves both ways); the sync counter and the depth high-water
+        // mark only ever grow.
+        (void)static_cast<std::uint64_t>(rt.txm().stats().inflight_tx.load());
+        coord_syncs += rt.txm().stats().coordinator_syncs.load();
+        depth_max = std::max<std::uint64_t>(
+            depth_max, rt.txm().stats().pipeline_depth_max.load());
       }
       const auto events = w.trace.size();
       // Meters only ever move forward while the world runs.
-      if (bytes < last_bytes || events < last_events) monotonic = false;
+      if (bytes < last_bytes || events < last_events ||
+          coord_syncs < last_coord_syncs || depth_max < last_depth_max) {
+        monotonic = false;
+      }
       last_bytes = bytes;
       last_events = events;
+      last_coord_syncs = coord_syncs;
+      last_depth_max = depth_max;
       ++polls;
       std::this_thread::yield();
     }

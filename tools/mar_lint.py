@@ -23,6 +23,13 @@ Rules (each with a stable id used in messages and suppressions):
   R5 trace-registered   Every TraceKind member has a to_string case and
                         every TraceKind:: use names a declared member, so
                         trace output never prints "?" for a live event.
+  R6 no-blocking-wait   No blocking wait primitives (condition_variable,
+                        future/promise, sleep loops) inside src/tx/ and
+                        src/ship/: the commit pipeline is completion-
+                        callback-driven — dwell time is expressed through
+                        simulator flush timers, never by blocking the
+                        caller. Timer code that must name such a
+                        primitive annotates `// mar-lint: flush-timer`.
 
 Usage:
   tools/mar_lint.py [--root REPO] [FILES...]   lint src/ (or FILES)
@@ -160,6 +167,31 @@ def check_raw_random(relpath, path, lines, findings):
                                     "draw from mar::Rng"))
 
 
+# --- R6: no blocking wait primitives in the commit pipeline ----------------
+
+NO_BLOCKING_PREFIXES = ("src/tx/", "src/ship/")
+BLOCKING_WAIT_RE = re.compile(
+    r"(?:std::condition_variable|std::this_thread::sleep_(?:for|until)|"
+    r"std::future\b|std::promise\b|(?<![\w.:>])usleep\s*\(|"
+    r"\.\s*wait(?:_for|_until)?\s*\()")
+
+
+def check_no_blocking_wait(relpath, path, lines, findings):
+    if not relpath.startswith(NO_BLOCKING_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        here_or_above = line + (lines[i - 2] if i >= 2 else "")
+        if "mar-lint: flush-timer" in here_or_above:
+            continue
+        m = BLOCKING_WAIT_RE.search(strip_noise(line))
+        if m:
+            findings.append(Finding(path, i, "R6",
+                                    f"blocking wait `{m.group(0).strip()}` "
+                                    "in the commit pipeline; use completion "
+                                    "callbacks / simulator flush timers (or "
+                                    "annotate `// mar-lint: flush-timer`)"))
+
+
 # --- R5: TraceKind members registered and uses valid -----------------------
 
 TRACE_ENUM_RE = re.compile(
@@ -221,6 +253,7 @@ def run_lint(root, explicit_files=None):
         check_sync_scope(relpath, relpath, lines, findings)
         check_encoder_reserve(relpath, lines, findings)
         check_raw_random(relpath, relpath, lines, findings)
+        check_no_blocking_wait(relpath, relpath, lines, findings)
     if not explicit_files:
         check_trace_registered(root, findings)
     return findings
@@ -256,6 +289,14 @@ void rogue_trace(mar::TraceSink& t) {
   t.emit(0, mar::TraceKind::bogus_kind, 0, "x");
 }
 """,
+    "src/tx/rogue_wait.cc": """
+#include <condition_variable>
+#include <mutex>
+void rogue_blocking_commit(std::condition_variable& cv,
+                           std::unique_lock<std::mutex>& lk) {
+  cv.wait(lk);
+}
+""",
 }
 
 CLEAN = {
@@ -269,6 +310,15 @@ void good(mar::sim::Simulator& sim) {
   grown.reserve(128);
   serial::Encoder tiny;  // mar-lint: small-frame
   (void)tiny;
+}
+""",
+    "src/tx/good_timer.cc": """
+void good_flush_timer(mar::sim::Simulator& sim, mar::FlushHelper& helper) {
+  // Dwell is a simulator timer, never a blocking wait.
+  sim.schedule_after(100, [] {});
+  helper.cv.wait(helper.lk);  // mar-lint: flush-timer
+  auto pending = helper.awaiting_.find(7);  // `awaiting_` is not a wait
+  (void)pending;
 }
 """,
 }
@@ -290,13 +340,14 @@ def self_test():
 
         findings = run_lint(root)
         fired = {f.rule for f in findings}
-        expected = {"R1", "R2", "R3", "R4", "R5"}
+        expected = {"R1", "R2", "R3", "R4", "R5", "R6"}
         ok = True
         for rule in sorted(expected):
             status = "fires" if rule in fired else "MISSED"
             print(f"self-test: {rule} {status}")
             ok &= rule in fired
-        false_pos = [f for f in findings if "good.cc" in str(f.path)]
+        false_pos = [f for f in findings
+                     if "good.cc" in str(f.path) or "good_timer" in str(f.path)]
         for f in false_pos:
             print(f"self-test: FALSE POSITIVE {f}")
         ok &= not false_pos
