@@ -39,6 +39,7 @@ ID_FIELDS = {
     "age", "fleet", "steps", "measured_steps", "node_concurrency",
     "param_bytes", "seed", "seed_index", "oldest_age",
     "group_commit_window", "ship_convoy_window", "measured_hops", "hops",
+    "mtbc_s",
 }
 
 # Deterministic health metrics: an *increase* beyond the tolerance fails
@@ -58,6 +59,13 @@ GATED_FIELDS = {
     # decision queue amortizes these well below 1; growth means the
     # pipelined flush (or the PREPARE piggyback feeding it) regressed.
     "coordinator_syncs_per_hop": (0.10, 0.02),
+    # A8 crash recovery: bytes replayed to rebuild the record read path
+    # is pure virtual-state — growth means segment retirement or the
+    # checkpoint low-water mark regressed. recovery_ms is wall-clock of
+    # the recovery scan; gated only loosely (machines differ) so an
+    # order-of-magnitude blowup still fails.
+    "recovery_replayed_bytes": (0.10, 64),
+    "recovery_ms": (1.00, 50),
 }
 
 

@@ -7,6 +7,14 @@
 // as a Poisson process, sweeping the crash rate, and reports completion
 // times. The run FAILS if any configuration blocks.
 //
+// Two storage modes per crash rate:
+//   * classic   — segmented_log off: the unsegmented record area, pinned
+//                 as the full-replay envelope (bit-exact seed behavior);
+//   * segmented — the CRC32-framed segment log with fuzzy checkpoints
+//                 armed, recovering through the same crash schedule.
+// The virtual-time outcome (completion, compensation counts) must be
+// identical between the modes; only the storage metering differs.
+//
 // Expected shape: completion time degrades smoothly as crashes become more
 // frequent; correctness (completion + exact compensation) never degrades.
 #include <iomanip>
@@ -22,49 +30,55 @@ int main(int argc, char** argv) {
   std::cout << "=== E6: rollback completion under transient crashes ===\n"
             << "(8 steps + full-sub rollback; Poisson crash/recover per "
                "node, 200 ms mean downtime)\n\n";
-  std::cout << "MTBC[s]  crashes  forward[ms]  rollback[ms]  total[ms]  "
-               "comp-CTs  done\n";
+  std::cout << "mode       MTBC[s]  crashes  forward[ms]  rollback[ms]  "
+               "total[ms]  comp-CTs  done\n";
   std::cout << "--------------------------------------------------------"
-               "-------\n";
+               "--------------------\n";
   bool all_ok = true;
-  double prev_total = 0;
-  (void)prev_total;
-  for (const double mtbc_s : {0.0, 10.0, 3.0, 1.0, 0.5}) {
-    // Average over seeds for the noisy settings.
-    double total_ms = 0;
-    double rollback_ms = 0;
-    double forward_ms = 0;
-    std::uint64_t crashes = 0;
-    std::uint64_t comp = 0;
-    bool ok = true;
-    constexpr int kSeeds = 3;
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      bench::RollbackScenario s;
-      s.steps = 8;
-      s.mixed_fraction = 0.5;
-      s.seed = 100 + static_cast<std::uint64_t>(seed);
-      s.inject_faults = mtbc_s > 0;
-      s.mean_time_between_crashes_us = mtbc_s * 1e6;
-      s.mean_downtime_us = 200'000;
-      const auto m = bench::run_rollback_scenario(s);
-      m.write_fields(
-          report.row().set("mtbc_s", mtbc_s).set("seed", s.seed));
-      ok = ok && m.ok;
-      total_ms += m.total_us / 1000.0 / kSeeds;
-      rollback_ms += m.rollback_us / 1000.0 / kSeeds;
-      forward_ms += m.forward_us / 1000.0 / kSeeds;
-      crashes += m.crashes;
-      comp += m.comp_commits;
+  for (const bool segmented : {false, true}) {
+    for (const double mtbc_s : {0.0, 10.0, 3.0, 1.0, 0.5}) {
+      // Average over seeds for the noisy settings.
+      double total_ms = 0;
+      double rollback_ms = 0;
+      double forward_ms = 0;
+      std::uint64_t crashes = 0;
+      std::uint64_t comp = 0;
+      bool ok = true;
+      constexpr int kSeeds = 3;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        bench::RollbackScenario s;
+        s.steps = 8;
+        s.mixed_fraction = 0.5;
+        s.seed = 100 + static_cast<std::uint64_t>(seed);
+        s.inject_faults = mtbc_s > 0;
+        s.mean_time_between_crashes_us = mtbc_s * 1e6;
+        s.mean_downtime_us = 200'000;
+        s.config.segmented_log = segmented;
+        if (segmented) s.config.checkpoint_interval_bytes = 4096;
+        const auto m = bench::run_rollback_scenario(s);
+        m.write_fields(report.row()
+                           .set("mode", segmented ? "segmented" : "classic")
+                           .set("mtbc_s", mtbc_s)
+                           .set("seed", s.seed));
+        ok = ok && m.ok;
+        total_ms += m.total_us / 1000.0 / kSeeds;
+        rollback_ms += m.rollback_us / 1000.0 / kSeeds;
+        forward_ms += m.forward_us / 1000.0 / kSeeds;
+        crashes += m.crashes;
+        comp += m.comp_commits;
+      }
+      std::cout << (segmented ? "segmented  " : "classic    ")
+                << std::setw(7) << std::fixed << std::setprecision(1)
+                << mtbc_s << "  " << std::setw(7) << crashes << "  "
+                << std::setw(11) << std::setprecision(1) << forward_ms
+                << "  " << std::setw(12) << rollback_ms << "  "
+                << std::setw(9) << total_ms << "  " << std::setw(8) << comp
+                << "  " << (ok ? "yes" : "NO") << "\n";
+      all_ok = all_ok && ok;
     }
-    std::cout << std::setw(7) << std::fixed << std::setprecision(1) << mtbc_s
-              << "  " << std::setw(7) << crashes << "  " << std::setw(11)
-              << std::setprecision(1) << forward_ms << "  " << std::setw(12)
-              << rollback_ms << "  " << std::setw(9) << total_ms << "  "
-              << std::setw(8) << comp << "  " << (ok ? "yes" : "NO") << "\n";
-    all_ok = all_ok && ok;
   }
   std::cout << "\ncheck: every configuration completes (eventual rollback "
-               "under transient faults) -> "
+               "under transient faults, both storage modes) -> "
             << (all_ok ? "OK" : "MISMATCH") << "\n";
   report.set_ok(all_ok);
   if (!json_path.empty() && !report.write_file(json_path)) return 2;

@@ -31,6 +31,7 @@ BENCHES=(
   bench_a5_steady_state
   bench_a6_contention
   bench_a7_shipping
+  bench_a8_recovery
   bench_micro_codec
 )
 

@@ -30,6 +30,12 @@ NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
   txm_.set_group_commit(platform.config().group_commit_window,
                         platform.config().group_commit_flush_us);
   txm_.set_trace(&platform.trace());
+  if (platform.config().segmented_log) {
+    storage_.enable_segmented_log(
+        storage::SegmentLogConfig{platform.config().segment_bytes});
+    txm_.set_checkpoint(platform.config().checkpoint_interval_bytes,
+                        platform.config().checkpoint_write_us);
+  }
 }
 
 void NodeRuntime::trace(TraceKind kind, std::string detail) {
@@ -319,9 +325,27 @@ void NodeRuntime::on_node_state(bool up) {
   rpc_waiters_.clear();
   ship_.on_node_state(up);
   if (up) {
+    // Rebuild the record read path BEFORE the tx layer re-drives decided
+    // commits: commit_locals may apply staged record ops on top of it.
+    // Segmented mode replays the checksummed log (possibly truncating a
+    // torn tail, or throwing CorruptionError on mid-log damage); classic
+    // mode meters the full-area replay envelope.
+    const auto report = storage_.recover_records();
+    trace(TraceKind::storage_recovery,
+          "replayed_bytes=" + std::to_string(report.replayed_bytes) +
+              " segments=" + std::to_string(report.segments_scanned) +
+              " torn_tail=" + std::to_string(report.truncated_torn_tail) +
+              " checkpoint=" + std::to_string(report.used_checkpoint) +
+              " fell_back=" + std::to_string(report.checkpoint_fell_back));
     txm_.on_recover();
     pump();
   } else {
+    const auto fault = p_.config().storage_fault;
+    if (fault != storage::StorageFault::none) {
+      // Crash-time damage: deterministic in the platform seed, drawn only
+      // when a fault is configured so clean runs stay bit-identical.
+      storage_.inject_storage_fault(fault, p_.rng().next_u64());
+    }
     txm_.on_crash();
   }
 }

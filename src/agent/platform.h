@@ -24,6 +24,7 @@
 #include "resource/resource.h"
 #include "rollback/comp_registry.h"
 #include "sim/simulator.h"
+#include "storage/segment_log.h"
 #include "util/ids.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -142,6 +143,30 @@ struct PlatformConfig {
   /// instead of rewriting on a fixed cadence. 0 disables the ratio
   /// policy; compaction_interval_steps always remains the hard cap.
   double compaction_ratio = 0.0;
+
+  // --- segmented record log + crash recovery (src/storage/segment_log.h) ---
+  /// Keep each node's record area in rotated, CRC32-framed log segments
+  /// instead of a trusted in-memory map: recovery replays the log
+  /// (detecting torn tails and mid-log damage by checksum) and fuzzy
+  /// checkpoints bound how much of it. false reproduces the classic
+  /// unsegmented record area bit for bit — the unbounded-replay envelope
+  /// bench_a8/e6 measure against.
+  bool segmented_log = true;
+  /// Rotation threshold for one log segment (segmented_log only).
+  std::size_t segment_bytes = 16 * 1024;
+  /// Begin a fuzzy checkpoint whenever at least this many record-log
+  /// bytes accumulated since the last one; completion rides the
+  /// group-commit flush timers so the commit pipeline never stalls.
+  /// 0 disables checkpoints (recovery replays the whole retained log).
+  /// Off by default: the periodic O(state) snapshot writes would skew
+  /// steady-state byte meters (A5); recovery-focused runs opt in.
+  std::size_t checkpoint_interval_bytes = 0;
+  /// Simulated time between checkpoint begin and completion (the fuzzy
+  /// window during which commits keep flowing).
+  sim::TimeUs checkpoint_write_us = 500;
+  /// Crash-time storage damage injected on every node-down transition
+  /// (tests / CI fault matrix). none leaves crashes clean.
+  storage::StorageFault storage_fault = storage::StorageFault::none;
 
   /// Write savepoints automatically when entering sub-itineraries and
   /// garbage-collect / discard per Sec. 4.4.2.

@@ -136,6 +136,7 @@ void TxManager::commit_async(TxId tx, CommitCallback cb) {
       commit_locals(tx);
       stable_.sync();
       finish(tx, c, true);
+      maybe_begin_checkpoint();
       return;
     }
     // Group commit: the outcome is decided (every local participant
@@ -218,6 +219,27 @@ void TxManager::flush_commit_group() {
     inflight_remove();
     if (cb) cb(true);
   }
+  maybe_begin_checkpoint();
+}
+
+void TxManager::maybe_begin_checkpoint() {
+  if (checkpoint_interval_bytes_ == 0) return;
+  auto* log = stable_.segment_log();
+  if (log == nullptr || log->checkpoint_in_progress()) return;
+  if (log->appended_bytes() - checkpoint_mark_ < checkpoint_interval_bytes_) {
+    return;
+  }
+  checkpoint_mark_ = log->appended_bytes();
+  if (!stable_.begin_checkpoint()) return;
+  trace_pipeline("ckpt_begin", TxId(0));
+  // The fuzzy window: commits keep flowing while the snapshot "writes".
+  // The epoch guard makes a crash inside the window abandon the attempt —
+  // the previous checkpoint generation stays the recovery base.
+  const auto epoch = epoch_;
+  sim_.schedule_after(checkpoint_write_us_, [this, epoch] {
+    if (epoch != epoch_) return;
+    if (stable_.complete_checkpoint()) trace_pipeline("ckpt_done", TxId(0));
+  });
 }
 
 void TxManager::schedule_group_flush() {
@@ -302,6 +324,7 @@ void TxManager::flush_decision_group() {
     arm_commit_redrive(tx);
     trace_pipeline("flushed", tx);
   }
+  maybe_begin_checkpoint();
 }
 
 void TxManager::schedule_decision_flush(bool hot) {
@@ -470,6 +493,7 @@ void TxManager::flush_participant_group() {
   for (const auto& a : applies) send(a.coordinator, msg::commit_ack, a.tx);
   for (const auto& v : votes) send(v.to, msg::vote, v.tx, v.yes);
   if (!applies.empty() && apply_listener_) apply_listener_();
+  maybe_begin_checkpoint();
 }
 
 void TxManager::schedule_participant_flush() {

@@ -187,6 +187,18 @@ class TxManager {
     group_flush_us_ = flush_us;
   }
 
+  /// Fuzzy record-log checkpoints (segmented storage only): whenever a
+  /// group-commit flush observes >= `interval_bytes` of new record-log
+  /// writes since the last checkpoint, begin one — snapshot at the
+  /// current LSN without stalling the pipeline — and complete it
+  /// `write_us` later on an epoch-guarded timer, so a crash inside the
+  /// window simply abandons the attempt (the previous generation stays
+  /// valid). 0 disables.
+  void set_checkpoint(std::size_t interval_bytes, sim::TimeUs write_us) {
+    checkpoint_interval_bytes_ = interval_bytes;
+    checkpoint_write_us_ = write_us;
+  }
+
  private:
   /// Coordinator-side per-transaction state machine. The pipelined path
   /// (window > 1) adds `deciding`: all votes are in, the decision record
@@ -252,6 +264,9 @@ class TxManager {
   void clear_prepared_marker(TxId tx);
   void schedule_inquiry(TxId tx);
   void trace_pipeline(const char* what, TxId tx);
+  /// Checkpoint trigger, evaluated at every batched flush point (the
+  /// moments this node already pays a durability barrier).
+  void maybe_begin_checkpoint();
 
   [[nodiscard]] std::string decision_key(TxId tx) const;
   [[nodiscard]] std::string prepared_key(TxId tx) const;
@@ -280,6 +295,12 @@ class TxManager {
   std::uint64_t flush_gen_ = 0;
   std::uint32_t group_window_ = 1;
   sim::TimeUs group_flush_us_ = 100;
+
+  /// Fuzzy-checkpoint cadence (0 = off) and simulated snapshot write time.
+  std::size_t checkpoint_interval_bytes_ = 0;
+  sim::TimeUs checkpoint_write_us_ = 500;
+  /// appended_bytes() watermark at the last checkpoint begin.
+  std::uint64_t checkpoint_mark_ = 0;
 
   /// Pipelined coordinator (window > 1): fully-voted distributed commits
   /// whose decision records await the batched durability flush. Volatile —

@@ -27,6 +27,7 @@ std::string_view to_string(TraceKind k) {
     case TraceKind::crash: return "CRASH";
     case TraceKind::recover: return "RECOVER";
     case TraceKind::tx_pipeline: return "TX-PIPELINE";
+    case TraceKind::storage_recovery: return "STORAGE-RECOVERY";
     case TraceKind::msg: return "MSG";
   }
   return "?";

@@ -38,6 +38,7 @@ enum class TraceKind {
   crash,            ///< Node crashed.
   recover,          ///< Node recovered.
   tx_pipeline,      ///< Commit-pipeline transition (decided/flushed/acked).
+  storage_recovery, ///< Record-log recovery scan (replayed bytes/segments).
   msg,              ///< Free-form message.
 };
 

@@ -30,6 +30,12 @@ Rules (each with a stable id used in messages and suppressions):
                         simulator flush timers, never by blocking the
                         caller. Timer code that must name such a
                         primitive annotates `// mar-lint: flush-timer`.
+  R7 record-scope       Record-area mutators (record_reset / record_append
+                        / record_erase) are called only from src/storage/
+                        and src/tx/. Anywhere else must stage through the
+                        tx layer (stage_record_*): a direct mutation
+                        bypasses both commit atomicity and the segment-log
+                        framing/checkpoint liveness accounting.
 
 Usage:
   tools/mar_lint.py [--root REPO] [FILES...]   lint src/ (or FILES)
@@ -192,6 +198,27 @@ def check_no_blocking_wait(relpath, path, lines, findings):
                                     "annotate `// mar-lint: flush-timer`)"))
 
 
+# --- R7: record-area mutators only under src/storage/ and src/tx/ ----------
+
+RECORD_ALLOWED_PREFIXES = ("src/storage/", "src/tx/")
+# `\.` anchors to a member call, so stage_record_* (the tx staging API)
+# never matches: the char after the dot is `s`, not `r`.
+RECORD_MUTATOR_RE = re.compile(r"\.\s*record_(?:reset|append|erase)\s*\(")
+
+
+def check_record_scope(relpath, path, lines, findings):
+    if relpath.startswith(RECORD_ALLOWED_PREFIXES):
+        return
+    for i, line in enumerate(lines, 1):
+        m = RECORD_MUTATOR_RE.search(strip_noise(line))
+        if m:
+            findings.append(Finding(path, i, "R7",
+                                    f"record mutator `{m.group(0).strip()})` "
+                                    "outside src/storage//src/tx/ bypasses "
+                                    "commit atomicity and segment-log "
+                                    "liveness; stage via stage_record_*"))
+
+
 # --- R5: TraceKind members registered and uses valid -----------------------
 
 TRACE_ENUM_RE = re.compile(
@@ -254,6 +281,7 @@ def run_lint(root, explicit_files=None):
         check_encoder_reserve(relpath, lines, findings)
         check_raw_random(relpath, relpath, lines, findings)
         check_no_blocking_wait(relpath, relpath, lines, findings)
+        check_record_scope(relpath, relpath, lines, findings)
     if not explicit_files:
         check_trace_registered(root, findings)
     return findings
@@ -288,6 +316,9 @@ serial::Bytes rogue_encode() {
 void rogue_trace(mar::TraceSink& t) {
   t.emit(0, mar::TraceKind::bogus_kind, 0, "x");
 }
+void rogue_record(mar::storage::StableStorage& st) {
+  st.record_append("agentimg:7", {});
+}
 """,
     "src/tx/rogue_wait.cc": """
 #include <condition_variable>
@@ -310,6 +341,12 @@ void good(mar::sim::Simulator& sim) {
   grown.reserve(128);
   serial::Encoder tiny;  // mar-lint: small-frame
   (void)tiny;
+}
+void good_staged_record(mar::tx::TxHandle& tx) {
+  // Staging through the tx layer is the sanctioned path outside storage.
+  tx.stage_record_reset("agentimg:7", {});
+  tx.stage_record_append("agentimg:7", {});
+  tx.stage_record_erase("agentimg:7");
 }
 """,
     "src/tx/good_timer.cc": """
@@ -340,7 +377,7 @@ def self_test():
 
         findings = run_lint(root)
         fired = {f.rule for f in findings}
-        expected = {"R1", "R2", "R3", "R4", "R5", "R6"}
+        expected = {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
         ok = True
         for rule in sorted(expected):
             status = "fires" if rule in fired else "MISSED"
