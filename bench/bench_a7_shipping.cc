@@ -23,6 +23,7 @@
 // bit-identical to the full-image run under injected crashes.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -67,6 +68,11 @@ struct RunResult {
   std::uint64_t delta_ships = 0;
   sim::TimeUs sim_us = 0;
   serial::Bytes final_agent;  ///< single-agent runs only
+  /// Hop latency percentiles (hop.latency_us histogram, virtual time).
+  double hop_p50_us = 0;
+  double hop_p95_us = 0;
+  double hop_p99_us = 0;
+  std::string metrics_json;  ///< uniform per-cell metrics block
 };
 
 RunResult run_course(bool delta, int node_count, int age, int hops,
@@ -74,6 +80,13 @@ RunResult run_course(bool delta, int node_count, int age, int hops,
                      std::uint64_t crash_seed = 0, int concurrency = 0,
                      std::uint32_t group_window = 0) {
   PlatformConfig cfg;
+  // Crash flight recorder: when the environment asks for a sample dump,
+  // the fault-injected cells append their per-node flight records there
+  // (CI uploads the file as an artifact).
+  if (const char* flight = std::getenv("MAR_FLIGHT_DUMP");
+      flight != nullptr && crash_seed != 0) {
+    cfg.flight_dump_path = flight;
+  }
   cfg.ship_delta = delta;
   cfg.ship_convoy_window = convoy_window;
   // The window sweep contrasts the whole coalescing stack: convoy
@@ -133,7 +146,46 @@ RunResult run_course(bool delta, int node_count, int age, int hops,
         res.pipeline_depth_max, node.txm().stats().pipeline_depth_max);
     res.delta_ships += node.shipments().stats().delta_ships;
   }
+  const auto snap = w.platform.metrics_snapshot();
+  if (const auto it = snap.histograms.find("hop.latency_us");
+      it != snap.histograms.end()) {
+    res.hop_p50_us = it->second.percentile(0.50);
+    res.hop_p95_us = it->second.percentile(0.95);
+    res.hop_p99_us = it->second.percentile(0.99);
+  }
+  res.metrics_json = snap.to_json();
   return res;
+}
+
+/// Write the complete span timeline of one representative multi-node run
+/// (3-node ring, 2 agents) to `path` — the trace_timeline.py input that
+/// CI stitches and the committed self-check fixture is generated from.
+bool dump_span_timeline(const char* path) {
+  PlatformConfig cfg;
+  cfg.node_concurrency = 2;
+  TestWorld w(cfg, /*node_count=*/3, /*seed=*/13);
+  harness::register_workload(w.platform);
+  std::vector<AgentId> ids;
+  for (int a = 0; a < 2; ++a) {
+    auto ag = std::make_unique<harness::WorkloadAgent>();
+    ag->itinerary() = course(/*age=*/2, /*hops=*/12, /*node_count=*/3);
+    ag->set_config("param_bytes", kParamBytes);
+    auto r = w.platform.launch(std::move(ag));
+    MAR_CHECK(r.is_ok());
+    ids.push_back(r.value());
+  }
+  if (!w.platform.run_until_all_finished(ids)) return false;
+  // The last agent's outcome lands before the coordinator-side commit
+  // callbacks of the penultimate hops have fired; drain those events so
+  // every hop span in the dump is closed.
+  w.sim.run_until(w.sim.now() + 1'000'000);
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write span dump: " << path << "\n";
+    return false;
+  }
+  w.platform.spans().dump(os);
+  return true;
 }
 
 struct Cell {
@@ -141,6 +193,10 @@ struct Cell {
   double bytes_per_hop = 0;
   double hops_per_sec = 0;
   std::uint64_t delta_ships = 0;
+  double hop_p50_us = 0;
+  double hop_p95_us = 0;
+  double hop_p99_us = 0;
+  std::string metrics_json;
 };
 
 /// Marginal per-hop cost: the convoy bytes / virtual time of the hops
@@ -160,6 +216,10 @@ Cell measure(bool delta, int node_count, int age, int warm_hops,
   c.hops_per_sec = static_cast<double>(measured_hops) /
                    (static_cast<double>(total.sim_us - warm.sim_us) * 1e-6);
   c.delta_ships = total.delta_ships;
+  c.hop_p50_us = total.hop_p50_us;
+  c.hop_p95_us = total.hop_p95_us;
+  c.hop_p99_us = total.hop_p99_us;
+  c.metrics_json = total.metrics_json;
   return c;
 }
 
@@ -218,6 +278,10 @@ int main(int argc, char** argv) {
             .set("bytes_per_hop", c.bytes_per_hop)
             .set("hops_per_sec", c.hops_per_sec)
             .set("delta_ships", c.delta_ships)
+            .set("hop_p50_us", c.hop_p50_us)
+            .set("hop_p95_us", c.hop_p95_us)
+            .set("hop_p99_us", c.hop_p99_us)
+            .set_json("metrics", c.metrics_json)
             .set("ok", c.ok);
       }
     }
@@ -376,6 +440,15 @@ int main(int argc, char** argv) {
   std::cout << "fault-injected bit-identity: "
             << (identical ? "OK" : "MISMATCH") << "\n";
   shape_ok = shape_ok && identical;
+
+  // Span-timeline dump for trace_timeline.py (CI artifact / fixture
+  // regeneration); opt-in via environment so normal runs stay lean.
+  if (const char* span_dump = std::getenv("MAR_SPAN_DUMP")) {
+    const bool dumped = dump_span_timeline(span_dump);
+    std::cout << "span timeline dump -> " << span_dump << ": "
+              << (dumped ? "OK" : "FAILED") << "\n";
+    shape_ok = shape_ok && dumped;
+  }
 
   std::cout << (shape_ok ? "\nshape check: OK\n" : "\nshape check: FAILED\n");
   report.set_ok(shape_ok);

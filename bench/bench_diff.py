@@ -2,6 +2,7 @@
 """Compare a fresh BENCH_results.json against a committed baseline.
 
 Usage: bench/bench_diff.py BASELINE FRESH
+       bench/bench_diff.py --self-test
 
 Prints per-metric deltas for every bench row shared by both files and
 fails (exit 1) when the fresh run is unhealthy:
@@ -66,6 +67,14 @@ GATED_FIELDS = {
     # order-of-magnitude blowup still fails.
     "recovery_replayed_bytes": (0.10, 64),
     "recovery_ms": (1.00, 50),
+    # Observability latency percentiles (A4 step commit, A7 agent hop):
+    # log-bucketed histograms over simulation virtual time — identical
+    # per build — so tail growth beyond tolerance is a scheduling or
+    # commit-path regression, not noise.
+    "step_p95_us": (0.15, 50),
+    "step_p99_us": (0.15, 50),
+    "hop_p95_us": (0.15, 100),
+    "hop_p99_us": (0.15, 100),
 }
 
 
@@ -84,6 +93,11 @@ def row_key(row):
     parts = []
     for k in sorted(row):
         v = row[k]
+        # Structured measurement blocks (the per-cell metrics snapshot)
+        # are data, never identity — a changed counter must not unmatch
+        # the row it belongs to.
+        if isinstance(v, (dict, list)):
+            continue
         if k in ID_FIELDS or not is_number(v):
             parts.append(f"{k}={v}")
     return ", ".join(parts)
@@ -154,15 +168,8 @@ def health_failures(name, report):
     return failures
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    with open(argv[1], encoding="utf-8") as f:
-        baseline = json.load(f)
-    with open(argv[2], encoding="utf-8") as f:
-        fresh = json.load(f)
-
+def compare(baseline, fresh):
+    """All failure messages for `fresh` vs `baseline` (prints the deltas)."""
     failures = []
     for name in baseline:
         if name not in fresh:
@@ -188,7 +195,66 @@ def main(argv):
             print("\n".join(lines))
         else:
             print(f"{name}: no metric changes")
+    return failures
 
+
+def self_test():
+    """Verify the gate fires on a seeded regression and on a vanished
+    gated metric, and that the structured metrics block is measurement,
+    not row identity."""
+
+    def bench(rows):
+        return {"bench": "a7_shipping", "ok": True, "rows": rows}
+
+    base_row = {
+        "mode": "delta", "age": 8, "hop_p95_us": 1000, "bytes_per_hop": 500,
+        "metrics": {"scalars": {"ship.delta_ships": 30}},
+    }
+    baseline = {"a7_shipping": bench([base_row])}
+
+    ok = True
+
+    def expect(label, fresh_rows, want_failure):
+        nonlocal ok
+        failures = compare(baseline, {"a7_shipping": bench(fresh_rows)})
+        fired = bool(failures)
+        good = fired == want_failure
+        print(f"self-test: {label}: "
+              f"{'fires' if fired else 'clean'} "
+              f"({'ok' if good else 'UNEXPECTED'})")
+        ok &= good
+
+    # Identical run (metrics block drifting is fine): clean.
+    expect("clean run", [dict(base_row,
+                              metrics={"scalars": {"ship.delta_ships": 31}})],
+           want_failure=False)
+    # Seeded p95 regression beyond 15% + 100us slack: gate fires.
+    expect("seeded hop_p95_us regression",
+           [dict(base_row, hop_p95_us=2000)], want_failure=True)
+    # Gated metric silently vanishing: gate fires loudly.
+    vanished = dict(base_row)
+    del vanished["hop_p95_us"]
+    expect("vanished gated metric", [vanished], want_failure=True)
+    # Within-tolerance drift: clean.
+    expect("tolerated drift", [dict(base_row, hop_p95_us=1050)],
+           want_failure=False)
+
+    print(f"self-test: {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 2
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(argv[2], encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    failures = compare(baseline, fresh)
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for f_ in failures:

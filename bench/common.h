@@ -52,6 +52,11 @@ class JsonRecord {
   JsonRecord& set(std::string_view key, const char* v) {
     return set(key, std::string_view(v));
   }
+  /// Embed an already-rendered JSON value (object or array) verbatim —
+  /// used for the uniform per-cell metrics block (MetricsSnapshot::to_json).
+  JsonRecord& set_json(std::string_view key, std::string rendered) {
+    return raw(key, std::move(rendered));
+  }
 
   [[nodiscard]] std::string to_json() const;
 

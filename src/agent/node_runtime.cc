@@ -1,9 +1,11 @@
 #include "agent/node_runtime.h"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 
 #include "contract/contract.h"
+#include "resource/lock_audit.h"
 #include "serial/decoder.h"
 #include "serial/encoder.h"
 #include "util/check.h"
@@ -36,10 +38,157 @@ NodeRuntime::NodeRuntime(Platform& platform, NodeId id)
     txm_.set_checkpoint(platform.config().checkpoint_interval_bytes,
                         platform.config().checkpoint_write_us);
   }
+  qm_.set_clock([this] { return p_.sim().now(); });
+
+  // Metrics registry (DESIGN.md §12): every stats counter of this node's
+  // subsystems under a dotted name, so one snapshot reports the node
+  // uniformly. The structs stay the hot-path write sites; the registry
+  // only holds pointers.
+  const auto& st = storage_.stats();
+  metrics_.register_counter("storage.bytes_written", &st.bytes_written);
+  metrics_.register_counter("storage.kv_writes", &st.kv_writes);
+  metrics_.register_counter("storage.queue_ops", &st.queue_ops);
+  metrics_.register_counter("storage.record_appends", &st.record_appends);
+  metrics_.register_counter("storage.record_resets", &st.record_resets);
+  metrics_.register_counter("storage.sync_batches", &st.sync_batches);
+  metrics_.register_counter("storage.ship_bytes_received",
+                            &st.ship_bytes_received);
+  metrics_.register_counter("storage.ship_bytes_reconstructed",
+                            &st.ship_bytes_reconstructed);
+  metrics_.register_counter("storage.recovery_replayed_bytes",
+                            &st.recovery_replayed_bytes);
+  metrics_.register_counter("storage.recovery_segments",
+                            &st.recovery_segments);
+  metrics_.register_counter("storage.checkpoints_completed",
+                            &st.checkpoints_completed);
+  const auto& sh = ship_.stats();
+  metrics_.register_counter("ship.convoys_sent", &sh.convoys_sent);
+  metrics_.register_counter("ship.entries_sent", &sh.entries_sent);
+  metrics_.register_counter("ship.full_images", &sh.full_images);
+  metrics_.register_counter("ship.delta_ships", &sh.delta_ships);
+  metrics_.register_counter("ship.delta_fallbacks", &sh.delta_fallbacks);
+  metrics_.register_counter("ship.need_full_retries", &sh.need_full_retries);
+  metrics_.register_counter("ship.wire_payload_bytes",
+                            &sh.wire_payload_bytes);
+  const auto& tx = txm_.stats();
+  metrics_.register_counter("tx.inflight_tx", &tx.inflight_tx);
+  metrics_.register_counter("tx.coordinator_syncs", &tx.coordinator_syncs);
+  metrics_.register_counter("tx.pipeline_depth_max", &tx.pipeline_depth_max);
+  metrics_.register_gauge("tx.participant_syncs",
+                          [this] { return txm_.participant_syncs(); });
+  hist_hop_us_ = &metrics_.histogram("hop.latency_us");
+  hist_step_us_ = &metrics_.histogram("step.latency_us");
+  hist_queue_wait_us_ = &metrics_.histogram("queue.wait_us");
+  hist_commit_flush_us_ = &metrics_.histogram("commit.flush_us");
 }
 
 void NodeRuntime::trace(TraceKind kind, std::string detail) {
   p_.trace().emit(p_.sim().now(), kind, id_.value(), std::move(detail));
+}
+
+// ---------------------------------------------------------------------------
+// Observability plumbing (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::span_hop_begin(QueueRecord& rec) {
+  auto& spans = p_.spans();
+  if (!spans.enabled()) return;
+  const auto now = p_.sim().now();
+  if (!hop_traces_.empty()) {
+    if (const auto it = hop_traces_.find(rec.record_id);
+        it != hop_traces_.end()) {
+      // Re-claim after an abort: resume the stashed hop span and close
+      // the lock-wait (backoff + re-admission) window the abort opened.
+      rec.hop_span_id = it->second.span_id;
+      rec.hop_begin_us = it->second.begin_us;
+      if (it->second.lock_wait_since != 0) {
+        Span lw;
+        lw.trace_id = rec.trace_id;
+        lw.span_id = spans.next_id();
+        lw.parent = rec.hop_span_id;
+        lw.kind = SpanKind::lock_wait;
+        lw.node = id_.value();
+        lw.agent = rec.agent.value();
+        lw.begin_us = it->second.lock_wait_since;
+        lw.end_us = now;
+        spans.record(std::move(lw));
+      }
+      hop_traces_.erase(it);
+      return;
+    }
+  }
+  // First claim: open the root hop span (its id is needed NOW so the
+  // phase children and the successor record can parent to it; the span
+  // itself is recorded when the hop closes) and emit the queue-wait.
+  // The state lives in THIS record copy — the processing path threads it
+  // by value through its continuations, so no lookup table is touched.
+  rec.hop_span_id = spans.next_id();
+  rec.hop_begin_us = rec.enqueued_us != 0 && rec.enqueued_us <= now
+                         ? rec.enqueued_us
+                         : now;
+  Span qw;
+  qw.trace_id = rec.trace_id;
+  qw.span_id = spans.next_id();
+  qw.parent = rec.hop_span_id;
+  qw.kind = SpanKind::queue_wait;
+  qw.node = id_.value();
+  qw.agent = rec.agent.value();
+  qw.begin_us = rec.hop_begin_us;
+  qw.end_us = now;
+  spans.record(std::move(qw));
+  hist_queue_wait_us_->record(now - rec.hop_begin_us);
+}
+
+void NodeRuntime::span_hop_end(const QueueRecord& rec) {
+  if (rec.hop_span_id == 0) return;  // tracing was off when claimed
+  auto& spans = p_.spans();
+  if (!spans.enabled()) return;
+  const auto now = p_.sim().now();
+  Span hop;
+  hop.trace_id = rec.trace_id;
+  hop.span_id = rec.hop_span_id;
+  hop.parent = rec.trace_parent;
+  hop.kind = SpanKind::hop;
+  hop.node = id_.value();
+  hop.agent = rec.agent.value();
+  hop.begin_us = rec.hop_begin_us;
+  hop.end_us = now;
+  if (rec.kind == RecordKind::compensate) hop.note = "comp";
+  spans.record(std::move(hop));
+  hist_hop_us_->record(now - rec.hop_begin_us);
+}
+
+void NodeRuntime::span_commit_flush(const QueueRecord& rec,
+                                    std::uint64_t begin_us) {
+  auto& spans = p_.spans();
+  if (!spans.enabled()) return;
+  const auto now = p_.sim().now();
+  Span cf;
+  cf.trace_id = rec.trace_id;
+  cf.span_id = spans.next_id();
+  cf.parent = rec.hop_span_id;
+  cf.kind = SpanKind::commit_flush;
+  cf.node = id_.value();
+  cf.agent = rec.agent.value();
+  cf.begin_us = begin_us;
+  cf.end_us = now;
+  spans.record(std::move(cf));
+  hist_commit_flush_us_->record(now - begin_us);
+}
+
+void NodeRuntime::propagate_trace(const QueueRecord& from,
+                                  QueueRecord& to) const {
+  to.trace_id = from.trace_id;
+  to.trace_parent =
+      from.hop_span_id != 0 ? from.hop_span_id : from.trace_parent;
+}
+
+void NodeRuntime::flight_dump(std::string_view reason) {
+  const auto& path = p_.config().flight_dump_path;
+  if (path.empty()) return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) return;
+  p_.spans().dump_node(id_.value(), reason, p_.sim().now(), os);
 }
 
 std::unique_ptr<Agent> NodeRuntime::decode(const serial::Bytes& bytes) const {
@@ -143,6 +292,7 @@ void NodeRuntime::after(sim::TimeUs delay, std::function<void()> fn) {
 }
 
 void NodeRuntime::enqueue_initial(QueueRecord record) {
+  record.enqueued_us = p_.sim().now();
   storage_.enqueue(std::move(record));
   pump();
 }
@@ -178,24 +328,32 @@ void NodeRuntime::process_record(std::uint64_t record_id) {
   const QueueRecord* found = storage_.find_record(record_id);
   MAR_CHECK_MSG(found != nullptr, "claimed record vanished from the queue");
   QueueRecord rec = *found;  // stable copy; the queue owns the original
-  // Multi-agent executions (Sec. 6): a requested cancellation takes
-  // effect at the next step boundary — exactly here, before the record
-  // is processed. In-flight rollbacks are never interrupted.
-  if (rec.kind != RecordKind::compensate &&
-      p_.cancel_requested(rec.agent)) {
-    execute_cancel(rec);
-    return;
-  }
-  switch (rec.kind) {
-    case RecordKind::execute:
-      execute_step(rec);
+  span_hop_begin(rec);
+  try {
+    // Multi-agent executions (Sec. 6): a requested cancellation takes
+    // effect at the next step boundary — exactly here, before the record
+    // is processed. In-flight rollbacks are never interrupted.
+    if (rec.kind != RecordKind::compensate &&
+        p_.cancel_requested(rec.agent)) {
+      execute_cancel(rec);
       return;
-    case RecordKind::compensate:
-      execute_compensation(rec);
-      return;
-    case RecordKind::launch:
-      execute_launch(rec);
-      return;
+    }
+    switch (rec.kind) {
+      case RecordKind::execute:
+        execute_step(rec);
+        return;
+      case RecordKind::compensate:
+        execute_compensation(rec);
+        return;
+      case RecordKind::launch:
+        execute_launch(rec);
+        return;
+    }
+  } catch (const resource::LockAuditError&) {
+    // Post-mortem artifact before the validator's hard failure unwinds
+    // the run: the node's recent spans show what led into the cycle.
+    flight_dump("lock_audit");
+    throw;
   }
   MAR_CHECK_MSG(false, "unknown queue record kind");
 }
@@ -211,6 +369,7 @@ void NodeRuntime::execute_launch(const QueueRecord& rec) {
   const NodeId dest = step.locations[attempt % step.locations.size()];
   QueueRecord next_rec =
       make_record(*agent, RecordKind::execute, SavepointId::invalid());
+  propagate_trace(rec, next_rec);
   if (dest != id_) {
     trace(TraceKind::migrate,
           "child agent " + std::to_string(rec.agent.value()) + " -> N" +
@@ -221,11 +380,12 @@ void NodeRuntime::execute_launch(const QueueRecord& rec) {
                    [this, rec](bool committed) {
                      release_slot(rec);
                      if (committed) {
+                       span_hop_end(rec);
                        attempts_.erase(rec.record_id);
                        pump();
                      } else {
                        ++attempts_[rec.record_id];
-                       retry_later(rec.record_id);
+                       retry_later(rec);
                      }
                    });
 }
@@ -283,6 +443,7 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = QueueRecord::Completion::cancel;
+  propagate_trace(rec, comp_rec);
   if (dest != id_) {
     ++p_.rollback_transfers();
     trace(TraceKind::migrate,
@@ -293,20 +454,32 @@ void NodeRuntime::initiate_cancel_rollback(const QueueRecord& rec,
                    [this, rec](bool committed) {
                      release_slot(rec);
                      if (committed) {
+                       span_hop_end(rec);
                        attempts_.erase(rec.record_id);
                        pump();
                      } else {
                        ++attempts_[rec.record_id];
-                       retry_later(rec.record_id);
+                       retry_later(rec);
                      }
                    });
 }
 
-void NodeRuntime::retry_later(std::uint64_t record_id) {
+void NodeRuntime::retry_later(const QueueRecord& rec) {
   const auto backoff =
       p_.config().retry_backoff_us +
       p_.rng().next_below(p_.config().retry_backoff_us + 1);
-  (void)record_id;
+  // The abort -> re-claim window is the hop's lock-wait phase. The open
+  // hop span rode this attempt's record copy; stash it so the re-claim
+  // (a fresh copy of the queued original) can resume the same span and
+  // close the lock-wait window.
+  if (rec.hop_span_id != 0 && p_.spans().enabled()) {
+    auto& ht = hop_traces_[rec.record_id];
+    if (ht.span_id == 0) {
+      ht.span_id = rec.hop_span_id;
+      ht.begin_us = rec.hop_begin_us;
+      ht.lock_wait_since = p_.sim().now();
+    }
+  }
   after(backoff, [this] { pump(); });
 }
 
@@ -316,9 +489,11 @@ void NodeRuntime::on_node_state(bool up) {
   // still queued (removal only commits), so recovery re-offers them.
   ++epoch_;
   up_ = up;
+  if (!up) flight_dump("crash");  // post-mortem before volatile state goes
   slots_.clear();
   busy_agents_.clear();
   resident_.clear();  // volatile cache; recovery decodes from the record area
+  hop_traces_.clear();  // re-offered records open fresh hop spans
   storage_.clear_claims();
   rce_waiters_.clear();
   mce_waiters_.clear();
@@ -330,13 +505,34 @@ void NodeRuntime::on_node_state(bool up) {
     // Segmented mode replays the checksummed log (possibly truncating a
     // torn tail, or throwing CorruptionError on mid-log damage); classic
     // mode meters the full-area replay envelope.
-    const auto report = storage_.recover_records();
+    storage::RecoveryReport report;
+    const auto recovery_begin = p_.sim().now();
+    try {
+      report = storage_.recover_records();
+    } catch (const storage::CorruptionError&) {
+      flight_dump("corruption");
+      throw;
+    }
     trace(TraceKind::storage_recovery,
           "replayed_bytes=" + std::to_string(report.replayed_bytes) +
               " segments=" + std::to_string(report.segments_scanned) +
               " torn_tail=" + std::to_string(report.truncated_torn_tail) +
               " checkpoint=" + std::to_string(report.used_checkpoint) +
               " fell_back=" + std::to_string(report.checkpoint_fell_back));
+    if (p_.spans().enabled()) {
+      // The replay is instantaneous in simulated time (its cost is a
+      // byte meter, A8's subject); the span marks the event and carries
+      // the replay size for the timeline.
+      Span rs;
+      rs.span_id = p_.spans().next_id();
+      rs.kind = SpanKind::recovery_replay;
+      rs.node = id_.value();
+      rs.begin_us = recovery_begin;
+      rs.end_us = p_.sim().now();
+      rs.note = "replayed_bytes=" + std::to_string(report.replayed_bytes) +
+                " segments=" + std::to_string(report.segments_scanned);
+      p_.spans().record(std::move(rs));
+    }
     txm_.on_recover();
     pump();
   } else {
@@ -549,21 +745,22 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
   auto failed = load_committed_agent(rec);
   serial::Bytes final_bytes =
       rec.payload.empty() ? encode_agent(*failed) : rec.payload;
+  const auto commit_begin = p_.sim().now();
   deliver_result(
       cleanup, *failed, /*ok=*/false, status,
-      [this, cleanup, rec, status,
+      [this, cleanup, rec, status, commit_begin,
        final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(cleanup);
           release_slot(rec);
-          retry_later(rec.record_id);
+          retry_later(rec);
           return;
         }
-        txm_.commit_async(cleanup, [this, rec, status,
+        txm_.commit_async(cleanup, [this, rec, status, commit_begin,
                                     final_bytes](bool committed) {
           if (!committed) {
             release_slot(rec);
-            retry_later(rec.record_id);
+            retry_later(rec);
             return;
           }
           AgentOutcome out;
@@ -573,6 +770,8 @@ void NodeRuntime::fail_agent(TxId tx, const QueueRecord& rec, Status status) {
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
+          span_commit_flush(rec, commit_begin);
+          span_hop_end(rec);
           attempts_.erase(rec.record_id);
           release_slot(rec);
           pump();
@@ -586,22 +785,25 @@ void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
   const auto image_key = agent_image_key(rec.agent);
   if (storage_.has_record(image_key)) qm_.stage_record_erase(tx, image_key);
   serial::Bytes final_bytes = encode_agent(agent);
+  const auto commit_begin = p_.sim().now();
   // Multi-agent executions: the result is delivered to the parent's
   // mailbox within this final step transaction — exactly once.
   deliver_result(
       tx, agent, /*ok=*/true, Status::ok(),
-      [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
+      [this, tx, rec, commit_begin,
+       final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(tx);
           release_slot(rec);
-          retry_later(rec.record_id);
+          retry_later(rec);
           return;
         }
-        txm_.commit_async(tx, [this, rec, final_bytes = std::move(
-                                              final_bytes)](bool ok) {
+        txm_.commit_async(tx, [this, rec, commit_begin,
+                               final_bytes = std::move(
+                                   final_bytes)](bool ok) {
           if (!ok) {
             release_slot(rec);
-            retry_later(rec.record_id);
+            retry_later(rec);
             return;
           }
           trace(TraceKind::step_commit,
@@ -612,6 +814,8 @@ void NodeRuntime::finish_agent(TxId tx, const QueueRecord& rec,
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
+          span_commit_flush(rec, commit_begin);
+          span_hop_end(rec);
           attempts_.erase(rec.record_id);
           release_slot(rec);
           pump();
@@ -670,21 +874,23 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
   const auto image_key = agent_image_key(rec.agent);
   if (storage_.has_record(image_key)) qm_.stage_record_erase(tx, image_key);
   serial::Bytes final_bytes = encode_agent(agent);
+  const auto commit_begin = p_.sim().now();
   deliver_result(
       tx, agent, /*ok=*/false, Status(Errc::tx_aborted, "cancelled"),
-      [this, tx, rec, final_bytes = std::move(final_bytes)](bool delivered) {
+      [this, tx, rec, commit_begin,
+       final_bytes = std::move(final_bytes)](bool delivered) {
         if (!delivered) {
           txm_.abort_tx(tx);
           release_slot(rec);
-          retry_later(rec.record_id);
+          retry_later(rec);
           return;
         }
-        txm_.commit_async(tx, [this, rec,
+        txm_.commit_async(tx, [this, rec, commit_begin,
                                final_bytes =
                                    std::move(final_bytes)](bool ok) {
           if (!ok) {
             release_slot(rec);
-            retry_later(rec.record_id);
+            retry_later(rec);
             return;
           }
           trace(TraceKind::rollback_done,
@@ -696,6 +902,8 @@ void NodeRuntime::finish_cancelled(TxId tx, const QueueRecord& rec,
           out.final_node = id_;
           out.finished_at = p_.sim().now();
           p_.record_outcome(rec.agent, std::move(out));
+          span_commit_flush(rec, commit_begin);
+          span_hop_end(rec);
           attempts_.erase(rec.record_id);
           release_slot(rec);
           pump();
@@ -745,7 +953,7 @@ void NodeRuntime::execute_step(const QueueRecord& rec) {
                                      " (will restart)");
     ++attempts_[rec.record_id];
     release_slot(rec);
-    retry_later(rec.record_id);
+    retry_later(rec);
     return;
   }
 
@@ -919,7 +1127,23 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
 
   const auto service = static_cast<sim::TimeUs>(ctx.resource_ops_invoked()) *
                        p_.config().resource_op_service_us;
-  after(service, [this, tx, rec, agent = std::move(agent), spawned] {
+  const auto exec_begin = p_.sim().now();
+  after(service, [this, tx, rec, agent = std::move(agent), spawned,
+                  exec_begin] {
+    if (p_.spans().enabled()) {
+      // The step body plus its modeled service time — the hop's
+      // step-exec phase (the commit phase starts right here).
+      Span se;
+      se.trace_id = rec.trace_id;
+      se.span_id = p_.spans().next_id();
+      se.parent = rec.hop_span_id;
+      se.kind = SpanKind::step_exec;
+      se.node = id_.value();
+      se.agent = rec.agent.value();
+      se.begin_us = exec_begin;
+      se.end_us = p_.sim().now();
+      p_.spans().record(std::move(se));
+    }
     if (agent->run_state() == Agent::RunState::done) {
       finish_agent(tx, rec, *agent);
       return;
@@ -946,16 +1170,28 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
       next_rec =
           make_record(*agent, RecordKind::execute, SavepointId::invalid());
     }
+    propagate_trace(rec, next_rec);
     if (dest != id_) {
       trace(TraceKind::migrate,
             "agent " + std::to_string(rec.agent.value()) + " -> N" +
                 std::to_string(dest.value()) + " (" +
                 std::to_string(next_rec.payload.size()) + " bytes)");
     }
+    const auto commit_begin = p_.sim().now();
     stage_and_commit(tx, dest, std::move(next_rec),
-                     [this, rec, spawned, agent, incremental](bool committed) {
+                     [this, rec, spawned, agent, incremental, exec_begin,
+                      commit_begin](bool committed) {
                        if (committed) {
                          trace(TraceKind::step_commit, "T committed");
+                         // Commit wait: group-commit flush for local
+                         // handoffs, flush + convoy round trip for
+                         // migrations (its convoy-wait / wire children
+                         // land from the shipment manager).
+                         span_commit_flush(rec, commit_begin);
+                         if (p_.spans().enabled()) {
+                           hist_step_us_->record(p_.sim().now() - exec_begin);
+                         }
+                         span_hop_end(rec);
                          attempts_.erase(rec.record_id);
                          if (incremental) {
                            // Keep the committed state resident: the next
@@ -979,7 +1215,7 @@ void NodeRuntime::complete_step(TxId tx, const QueueRecord& rec,
                        if (committed) {
                          pump();
                        } else {
-                         retry_later(rec.record_id);
+                         retry_later(rec);
                        }
                      });
   });
@@ -1077,15 +1313,17 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
     const NodeId dest = step.locations[attempt % step.locations.size()];
     QueueRecord next_rec =
         make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    propagate_trace(rec, next_rec);
     stage_and_commit(tx, dest, std::move(next_rec),
                      [this, rec](bool committed) {
                        release_slot(rec);
                        if (committed) {
+                         span_hop_end(rec);
                          attempts_.erase(rec.record_id);
                          pump();
                        } else {
                          ++attempts_[rec.record_id];
-                         retry_later(rec.record_id);
+                         retry_later(rec);
                        }
                      });
     return;
@@ -1104,6 +1342,7 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = completion;
+  propagate_trace(rec, comp_rec);
   if (dest != id_) {
     ++p_.rollback_transfers();
     trace(TraceKind::migrate,
@@ -1115,11 +1354,12 @@ void NodeRuntime::initiate_rollback(const QueueRecord& rec,
                    [this, rec](bool committed) {
                      release_slot(rec);
                      if (committed) {
+                       span_hop_end(rec);
                        attempts_.erase(rec.record_id);
                        pump();
                      } else {
                        ++attempts_[rec.record_id];
-                       retry_later(rec.record_id);
+                       retry_later(rec);
                      }
                    });
 }
@@ -1241,7 +1481,7 @@ void NodeRuntime::execute_compensation(const QueueRecord& rec) {
     }
     txm_.abort_tx(tx);
     release_slot(rec);
-    retry_later(rec.record_id);
+    retry_later(rec);
   };
 
   if (ship_mixed) {
@@ -1433,6 +1673,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
     const NodeId dest = step.locations[attempt % step.locations.size()];
     QueueRecord next_rec =
         make_record(*agent, RecordKind::execute, SavepointId::invalid());
+    propagate_trace(rec, next_rec);
     if (dest != id_) {
       trace(TraceKind::migrate,
             "agent " + std::to_string(rec.agent.value()) + " -> N" +
@@ -1443,13 +1684,14 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
                        release_slot(rec);
                        if (committed) {
                          trace(TraceKind::comp_commit, "CT committed");
+                         span_hop_end(rec);
                          attempts_.erase(rec.record_id);
                          pump();
                        } else {
                          trace(TraceKind::comp_abort,
                                "commit failed (will retry)");
                          ++attempts_[rec.record_id];
-                         retry_later(rec.record_id);
+                         retry_later(rec);
                        }
                      });
     return;
@@ -1469,6 +1711,7 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
   const NodeId dest = dests[attempt % dests.size()];
   QueueRecord comp_rec = make_record(*agent, RecordKind::compensate, target);
   comp_rec.completion = rec.completion;
+  propagate_trace(rec, comp_rec);
   if (dest != id_) {
     ++p_.rollback_transfers();
     trace(TraceKind::migrate,
@@ -1481,13 +1724,14 @@ void NodeRuntime::finish_compensation(TxId tx, const QueueRecord& rec,
                      release_slot(rec);
                      if (committed) {
                        trace(TraceKind::comp_commit, "CT committed");
+                       span_hop_end(rec);
                        attempts_.erase(rec.record_id);
                        pump();
                      } else {
                        trace(TraceKind::comp_abort,
                              "commit failed (will retry)");
                        ++attempts_[rec.record_id];
-                       retry_later(rec.record_id);
+                       retry_later(rec);
                      }
                    });
 }

@@ -79,6 +79,15 @@ class NodeRuntime {
     return "agentimg:" + std::to_string(id.value());
   }
 
+  // --- observability (DESIGN.md §12) -----------------------------------------
+  /// This node's metrics registry: every StorageStats / ShipStats /
+  /// TxStats counter registered under a dotted name, the platform-level
+  /// gauges, and the node's latency histograms.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+
  private:
   // --- queue processing ------------------------------------------------------
   void process_record(std::uint64_t record_id);
@@ -171,7 +180,7 @@ class NodeRuntime {
   /// optional timeout (config.stage_timeout_us).
   void stage_and_commit(TxId tx, NodeId dest, storage::QueueRecord record,
                         std::function<void(bool)> done);
-  void retry_later(std::uint64_t record_id);
+  void retry_later(const storage::QueueRecord& rec);
   void fail_agent(TxId tx, const storage::QueueRecord& rec, Status status);
   void finish_agent(TxId tx, const storage::QueueRecord& rec, Agent& agent);
   /// Terminate a cancelled agent after its complete rollback (multi-agent
@@ -213,6 +222,39 @@ class NodeRuntime {
   /// rolls back, migrates or terminates it).
   void evict_resident(AgentId id) { resident_.erase(id); }
 
+  // --- observability plumbing (DESIGN.md §12) --------------------------------
+  /// Stash of an ABORTED attempt's open hop span: the happy path carries
+  /// the span in the claimed record copy itself (QueueRecord::hop_span_id
+  /// / hop_begin_us — zero lookups per hop); only an abort parks it here
+  /// so the re-claim resumes the same span and closes the lock-wait
+  /// window. Volatile like the claims — cleared on crash, so a re-offered
+  /// record opens a fresh hop span whose begin is still its enqueue time.
+  struct HopTrace {
+    std::uint64_t span_id = 0;
+    std::uint64_t begin_us = 0;
+    std::uint64_t lock_wait_since = 0;  ///< abort time (pending window)
+  };
+  /// Open (or resume) the hop span for a claimed record: first claim
+  /// opens the root span in `rec` and emits the queue-wait child, a
+  /// re-claim after an abort emits the lock-wait child. No-op when span
+  /// tracing is off.
+  void span_hop_begin(storage::QueueRecord& rec);
+  /// Close the record's hop span (the record was consumed: its
+  /// transaction committed or the agent terminated) and feed the hop /
+  /// queue-wait latency histograms.
+  void span_hop_end(const storage::QueueRecord& rec);
+  /// Emit the hop's commit-flush child span (begin_us .. now) and feed
+  /// the commit-flush latency histogram. No-op when tracing is off.
+  void span_commit_flush(const storage::QueueRecord& rec,
+                         std::uint64_t begin_us);
+  /// Stamp the successor record with the current hop's causal context.
+  void propagate_trace(const storage::QueueRecord& from,
+                       storage::QueueRecord& to) const;
+  /// Append this node's retained span ring to config.flight_dump_path
+  /// (no-op when the path is empty). `reason` names the trigger:
+  /// "crash", "corruption", "lock_audit".
+  void flight_dump(std::string_view reason);
+
   // --- small helpers ---------------------------------------------------------
   void trace(TraceKind kind, std::string detail);
   [[nodiscard]] std::unique_ptr<Agent> decode(const serial::Bytes& bytes)
@@ -244,6 +286,17 @@ class NodeRuntime {
   /// Per-record processing attempts (drives backoff + alternative nodes).
   /// Entries are erased when the record commits or the agent terminates.
   std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  /// Aborted-attempt hop-span stash (see HopTrace); empty on the happy
+  /// path. Volatile, cleared on crash.
+  std::unordered_map<std::uint64_t, HopTrace> hop_traces_;
+  /// Metrics registry (counters registered in the ctor) and the node's
+  /// latency histograms, owned by the registry; raw pointers cached so
+  /// the hot path skips the name lookup.
+  MetricsRegistry metrics_;
+  Histogram* hist_hop_us_ = nullptr;
+  Histogram* hist_step_us_ = nullptr;
+  Histogram* hist_queue_wait_us_ = nullptr;
+  Histogram* hist_commit_flush_us_ = nullptr;
   /// Resident cache: the committed in-memory state of agents whose durable
   /// image lives in this node's record area (incremental commits). Purely
   /// an optimization — volatile, invalidated on crash and on every path

@@ -10,6 +10,8 @@ namespace mar::agent {
 Platform::Platform(sim::Simulator& sim, net::Network& net, TraceSink& trace,
                    PlatformConfig config, std::uint64_t seed)
     : sim_(sim), net_(net), trace_(trace), config_(config), rng_(seed) {
+  spans_.set_enabled(config_.span_tracing);
+  spans_.set_capacity(config_.flight_recorder_spans);
   net_.subscribe_node_state([this](NodeId id, bool up) {
     auto it = nodes_.find(id);
     if (it != nodes_.end()) it->second->on_node_state(up);
@@ -69,6 +71,10 @@ Result<AgentId> Platform::launch(std::unique_ptr<Agent> agent) {
   record.record_id = next_record_id();
   record.agent = id;
   record.kind = storage::RecordKind::execute;
+  // One trace per agent execution; the agent id doubles as the trace id
+  // (unique, deterministic, readable in dumps). The launch record has no
+  // parent hop.
+  record.trace_id = id.value();
   record.payload = encode_agent(*agent);
   outcomes_[id] = AgentOutcome{};
   node(start).enqueue_initial(std::move(record));
@@ -164,6 +170,7 @@ Status Platform::cancel_child(AgentId child) {
   rec.kind = storage::RecordKind::compensate;
   rec.rollback_target = target;
   rec.completion = storage::QueueRecord::Completion::cancel;
+  rec.trace_id = child.value();  // compensating execution, same agent trace
   rec.payload = it->second.final_agent;
   it->second = AgentOutcome{};  // running again, as a compensator
   trace_.emit(sim_.now(), TraceKind::msg, where.value(),
@@ -218,6 +225,17 @@ void Platform::record_outcome(AgentId id, AgentOutcome outcome) {
       }
     }
   }
+}
+
+MetricsSnapshot Platform::metrics_snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [id, runtime] : nodes_) {
+    snap.merge(runtime->metrics_snapshot());
+  }
+  snap.scalars["platform.rollback_transfers"] = rollback_transfers_;
+  snap.scalars["platform.mixed_ships"] = mixed_ships_;
+  snap.scalars["platform.lock_conflict_aborts"] = lock_conflict_aborts_;
+  return snap;
 }
 
 // ---------------------------------------------------------------------------

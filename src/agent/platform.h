@@ -26,8 +26,10 @@
 #include "sim/simulator.h"
 #include "storage/segment_log.h"
 #include "util/ids.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/span.h"
 #include "util/trace.h"
 
 namespace mar::agent {
@@ -190,6 +192,23 @@ struct PlatformConfig {
   /// of one compensation transaction; 0 = retry forever (the paper's
   /// baseline assumption under transient faults).
   std::uint32_t max_compensation_attempts = 0;
+
+  // --- observability (DESIGN.md §12) ----------------------------------------
+  /// Causal hop tracing: record per-phase spans (queue-wait, lock-wait,
+  /// step-exec, commit-flush, convoy-wait, wire, apply, recovery-replay)
+  /// into the platform's SpanSink. The trace context still rides every
+  /// QueueRecord either way (it is part of the durable format); this only
+  /// gates span recording. Default on — the overhead budget is ≤3% of
+  /// bench_a4 wall time, measured by that bench's `overhead` phase.
+  bool span_tracing = true;
+  /// Flight recorder: retained spans per node (ring buffer); oldest spans
+  /// fall off beyond this.
+  std::size_t flight_recorder_spans = 4096;
+  /// When non-empty, a node that crashes or throws CorruptionError /
+  /// LockAuditError appends its retained span ring to this file as JSONL
+  /// (one flight_dump header line, then spans). Empty disables dumping —
+  /// the recorder still runs, tests/tools can dump it explicitly.
+  std::string flight_dump_path;
 };
 
 /// Terminal (or current) state of a launched agent.
@@ -264,6 +283,13 @@ class Platform {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] net::Network& net() { return net_; }
   [[nodiscard]] TraceSink& trace() { return trace_; }
+  /// The platform-owned span sink / flight recorder (DESIGN.md §12).
+  [[nodiscard]] SpanSink& spans() { return spans_; }
+  /// Fleet-wide metrics: every node's registry snapshot merged (scalars
+  /// summed, histograms merged bucket-wise) plus the platform-level
+  /// counters (platform.rollback_transfers / mixed_ships /
+  /// lock_conflict_aborts).
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const;
   [[nodiscard]] PlatformConfig& config() { return config_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] std::uint64_t next_record_id() { return next_record_++; }
@@ -302,6 +328,7 @@ class Platform {
   sim::Simulator& sim_;
   net::Network& net_;
   TraceSink& trace_;
+  SpanSink spans_;
   PlatformConfig config_;
   Rng rng_;
   AgentTypeRegistry agent_types_;

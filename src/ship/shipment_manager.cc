@@ -168,6 +168,7 @@ void ShipmentManager::stage_remote(TxId tx, NodeId dest,
   p.tx = tx;
   p.dest = dest;
   p.record = std::move(record);
+  p.staged_at = p_.sim().now();
   p.done = std::move(done);
   encode_frame(p);
   if (cfg.stage_timeout_us > 0) {
@@ -213,11 +214,29 @@ void ShipmentManager::flush_convoy(NodeId dest) {
 
 void ShipmentManager::dispatch_convoy(NodeId dest,
                                       std::vector<Pending> batch) {
-  std::size_t wire = serial::varint_size(batch.size());
+  const auto now = p_.sim().now();
+  std::size_t wire = 8 + serial::varint_size(batch.size());
   for (const auto& p : batch) wire += serial::blob_size(p.frame.size());
   serial::Encoder enc(wire);
+  // Departure stamp: the receiver turns it into the wire span of each
+  // entry (global simulation clock, so sender/receiver times compare).
+  enc.write_u64(now);
   enc.write_varint(batch.size());
   for (const auto& p : batch) enc.write_bytes(p.frame);
+  if (p_.spans().enabled()) {
+    for (const auto& p : batch) {
+      Span s;
+      s.trace_id = p.record.trace_id;
+      s.span_id = p_.spans().next_id();
+      s.parent = p.record.trace_parent;
+      s.kind = SpanKind::convoy_wait;
+      s.node = self_.value();
+      s.agent = p.record.agent.value();
+      s.begin_us = p.staged_at;
+      s.end_us = now;
+      p_.spans().record(s);
+    }
+  }
   ++stats_.convoys_sent;
   stats_.entries_sent += batch.size();
   stats_.wire_payload_bytes += enc.size();
@@ -251,6 +270,7 @@ void ShipmentManager::timeout_pending(TxId tx) {
 
 void ShipmentManager::on_convoy(const net::Message& m) {
   serial::Decoder dec(m.payload);
+  const auto sent_at = dec.read_u64();
   const auto count = dec.read_count();
   serial::Encoder ack(8 + serial::varint_size(count) + count * (8 + 1));
   ack.write_u64(epoch_tag_);
@@ -263,6 +283,11 @@ void ShipmentManager::on_convoy(const net::Message& m) {
     const std::uint8_t mode = mode_byte & static_cast<std::uint8_t>(~kPrepareFlag);
     storage::QueueRecord rec;
     rec.deserialize(entry);
+    // The record is consumed by the staging below; keep what the spans
+    // need.
+    const auto trace_id = rec.trace_id;
+    const auto trace_parent = rec.trace_parent;
+    const auto agent_value = rec.agent.value();
     std::uint8_t status = kStaged;
     std::size_t wire_bytes = rec.payload.size();
     if (mode == kDeltaFrame) {
@@ -314,6 +339,29 @@ void ShipmentManager::on_convoy(const net::Message& m) {
       }
       txm_.note_remote_staged(tx);
       qm_.stage_enqueue(tx, std::move(rec));
+    }
+    if (status == kStaged && p_.spans().enabled()) {
+      const auto now = p_.sim().now();
+      Span w;
+      w.trace_id = trace_id;
+      w.span_id = p_.spans().next_id();
+      w.parent = trace_parent;
+      w.kind = SpanKind::wire;
+      w.node = self_.value();
+      w.agent = agent_value;
+      w.begin_us = sent_at;
+      w.end_us = now;
+      w.note = std::to_string(wire_bytes) + " bytes";
+      p_.spans().record(w);
+      // Staging/reconstruction is instantaneous in simulation time; the
+      // apply span is a zero-width causal marker of where the record
+      // landed and in which form.
+      Span a = w;
+      a.span_id = p_.spans().next_id();
+      a.kind = SpanKind::apply;
+      a.begin_us = now;
+      a.note = mode == kDeltaFrame ? "delta" : "full";
+      p_.spans().record(a);
     }
     // The staged entry doubles as the PREPARE (one round trip): queue the
     // prepare-and-vote now that the staged state exists. A kNeedFull

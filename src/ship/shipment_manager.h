@@ -147,6 +147,7 @@ class ShipmentManager {
     storage::QueueRecord record;
     serial::Bytes frame;  ///< encoded convoy entry
     bool delta = false;
+    std::uint64_t staged_at = 0;  ///< stage_remote time (convoy_wait span)
     std::shared_ptr<agent::Agent> decoded_payload;
     std::function<void(bool)> done;
   };

@@ -10,6 +10,8 @@ void QueueRecord::serialize(serial::Encoder& enc) const {
   enc.write_u8(static_cast<std::uint8_t>(kind));
   enc.write_u32(rollback_target.value());
   enc.write_u8(static_cast<std::uint8_t>(completion));
+  enc.write_u64(trace_id);
+  enc.write_u64(trace_parent);
   enc.write_bytes(payload);
 }
 
@@ -19,13 +21,15 @@ void QueueRecord::deserialize(serial::Decoder& dec) {
   kind = static_cast<RecordKind>(dec.read_u8());
   rollback_target = SavepointId(dec.read_u32());
   completion = static_cast<Completion>(dec.read_u8());
+  trace_id = dec.read_u64();
+  trace_parent = dec.read_u64();
   payload = dec.read_bytes();
 }
 
 std::size_t QueueRecord::byte_size() const {
   // Arithmetic mirror of serialize() — enqueue meters every record, so
   // this must not cost an encode of the (possibly large) payload.
-  return 8 + 8 + 1 + 4 + 1 + serial::blob_size(payload.size());
+  return 8 + 8 + 1 + 4 + 1 + 8 + 8 + serial::blob_size(payload.size());
 }
 
 void StableStorage::put(const std::string& key, serial::Bytes value) {

@@ -59,6 +59,23 @@ struct QueueRecord {
                     ///< alternatives entry (flexible itineraries, ref [14])
   };
   Completion completion = Completion::resume;
+  /// Causal trace context (observability, DESIGN.md §12): trace_id is
+  /// minted once per agent execution at launch; trace_parent is the hop
+  /// span that produced this record (0 for the launch record). Both are
+  /// durable — they ride ship.convoy frames and prepared tx markers with
+  /// the record, so a hop timeline survives migration and crash replay.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_parent = 0;
+  /// Volatile (NOT serialized): when the record landed in this node's
+  /// queue, stamped at enqueue application — the queue-wait span's begin.
+  std::uint64_t enqueued_us = 0;
+  /// Volatile (NOT serialized): the open hop span of the current claim,
+  /// allocated at first claim, plus the hop's begin time. They ride the
+  /// processing path's by-value record copies, so the happy path needs
+  /// no lookup table; an aborted attempt stashes them in the runtime
+  /// (NodeRuntime::hop_traces_) to survive until the re-claim.
+  std::uint64_t hop_span_id = 0;
+  std::uint64_t hop_begin_us = 0;
   serial::Bytes payload;  ///< serialized agent state + rollback log
 
   void serialize(serial::Encoder& enc) const;

@@ -162,7 +162,10 @@ bool QueueManager::prepare(TxId tx) {
 void QueueManager::commit(TxId tx) {
   auto it = staged_.find(tx);
   if (it == staged_.end()) return;  // idempotent
-  for (auto& r : it->second.enqueues) stable_.enqueue(std::move(r));
+  for (auto& r : it->second.enqueues) {
+    if (now_fn_) r.enqueued_us = now_fn_();
+    stable_.enqueue(std::move(r));
+  }
   for (const auto id : it->second.removes) {
     stable_.remove(id);
     releases_.erase(id);

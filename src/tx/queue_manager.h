@@ -8,6 +8,8 @@
 // protocol and the rollback algorithm's restartability.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,6 +24,15 @@ namespace mar::tx {
 class QueueManager final : public Participant {
  public:
   explicit QueueManager(storage::StableStorage& stable) : stable_(stable) {}
+
+  /// Simulation clock hook (observability): committed enqueues are
+  /// stamped with the current time as QueueRecord::enqueued_us — the
+  /// queue-wait span of the hop that will consume the record begins the
+  /// moment the record actually lands in the queue, which for a remote
+  /// transfer is here at commit, not when the sender built it.
+  void set_clock(std::function<std::uint64_t()> now_fn) {
+    now_fn_ = std::move(now_fn);
+  }
 
   /// Stage "append this record to the local queue at commit".
   void stage_enqueue(TxId tx, storage::QueueRecord record);
@@ -98,6 +109,7 @@ class QueueManager final : public Participant {
   }
 
   storage::StableStorage& stable_;
+  std::function<std::uint64_t()> now_fn_;
   std::map<TxId, Staged> staged_;
   /// Aged-admission bookkeeping (volatile, like the claims): per record,
   /// how often its claim was released after an abort, and how often a

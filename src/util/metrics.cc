@@ -1,0 +1,119 @@
+#include "util/metrics.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace mar {
+
+void Histogram::record(std::uint64_t v) {
+  const int b = std::bit_width(v);  // 0 for v==0, else floor(log2)+1
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+std::uint64_t Histogram::sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+std::uint64_t Histogram::bucket(int i) const {
+  MAR_CHECK(i >= 0 && i < kBuckets);
+  return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target sample, 1-based; p=1 lands on the last sample.
+  const auto rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (seen + n >= rank) {
+      if (i == 0) return 0;  // bucket 0 holds exactly the value 0
+      // Bucket i spans [2^(i-1), 2^i); interpolate by rank within it.
+      const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+      const std::uint64_t width = lo;  // 2^i - 2^(i-1)
+      const std::uint64_t into = rank - seen - 1;
+      return lo + (n > 1 ? width * into / (n - 1) : width / 2);
+    }
+    seen += n;
+  }
+  return 0;  // unreachable when counts are consistent
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& o) {
+  count += o.count;
+  sum += o.sum;
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& o) {
+  for (const auto& [name, v] : o.scalars) scalars[name] += v;
+  for (const auto& [name, h] : o.histograms) histograms[name].merge(h);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"scalars\": {";
+  bool first = true;
+  for (const auto& [name, v] : scalars) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": " + std::to_string(v);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"p50\": " + std::to_string(h.percentile(0.50)) +
+           ", \"p95\": " + std::to_string(h.percentile(0.95)) +
+           ", \"p99\": " + std::to_string(h.percentile(0.99)) +
+           ", \"max\": " + std::to_string(h.percentile(1.0)) + "}";
+  }
+  return out + "}}";
+}
+
+void MetricsRegistry::register_counter(std::string name,
+                                       const RelaxedCounter* counter) {
+  MAR_CHECK(counter != nullptr);
+  counters_[std::move(name)] = counter;
+}
+
+void MetricsRegistry::register_gauge(std::string name,
+                                     std::function<std::uint64_t()> fn) {
+  MAR_CHECK(fn != nullptr);
+  gauges_[std::move(name)] = std::move(fn);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.scalars[name] = c->load();
+  for (const auto& [name, fn] : gauges_) snap.scalars[name] = fn();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+      hs.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    snap.histograms[name] = hs;
+  }
+  return snap;
+}
+
+}  // namespace mar

@@ -1,0 +1,100 @@
+// Unified metrics registry: counters, gauges, and latency histograms.
+//
+// The stats structs scattered through the tree (StorageStats, ShipStats,
+// TxStats) stay where they are — their owners keep bumping plain
+// RelaxedCounter fields on the hot path — but every field is *registered*
+// here under a dotted name ("storage.bytes_written", "ship.delta_ships"),
+// so one snapshot call reports the whole node uniformly instead of each
+// bench hand-picking counters. On top of that the registry owns
+// log-bucketed Histograms for latency distributions (p50/p95/p99 in bench
+// reports): power-of-2 buckets, lock-free relaxed-atomic increments, so a
+// monitor thread may sample mid-run exactly like the counters.
+//
+// Snapshots are deterministic: names are emitted sorted, values are plain
+// integers, and within one single-threaded world the recorded multiset is
+// seed-determined — so bit-identical JSON across expt::run_worlds thread
+// counts is an invariant the tests hold.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/counters.h"
+
+namespace mar {
+
+/// Log-bucketed latency histogram. Bucket i counts values whose
+/// bit_width is i: bucket 0 holds exactly 0, bucket i (i >= 1) holds
+/// [2^(i-1), 2^i). Increments are relaxed atomics — same sampling
+/// contract as RelaxedCounter.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] std::uint64_t sum() const;
+  [[nodiscard]] std::uint64_t bucket(int i) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// A quiesced copy of one histogram: bucket counts plus the derived
+/// quantiles benches report. Mergeable across nodes (bucket-wise sum).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Quantile estimate (p in [0,1]): linear interpolation inside the
+  /// bucket the p-th sample falls into. Deterministic for a fixed
+  /// multiset of recorded values.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  void merge(const HistogramSnapshot& o);
+};
+
+/// A quiesced copy of a whole registry. Scalars cover both counters and
+/// gauges (the snapshot flattens the distinction — both are one u64).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> scalars;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Merge another node's snapshot: scalars sum, histograms sum
+  /// bucket-wise (a fleet-wide latency distribution is exactly the union
+  /// of the per-node ones).
+  void merge(const MetricsSnapshot& o);
+
+  /// Deterministic single-line JSON: sorted names, integer values,
+  /// histograms as {"count","sum","p50","p95","p99","max"}.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Register a counter field by pointer; the owner keeps writing it in
+  /// place. The pointee must outlive the registry (stats structs are
+  /// members of the same NodeRuntime that owns the registry).
+  void register_counter(std::string name, const RelaxedCounter* counter);
+  /// Register a computed value, sampled at snapshot time.
+  void register_gauge(std::string name, std::function<std::uint64_t()> fn);
+  /// Registry-owned histogram; created on first use, stable address.
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::map<std::string, const RelaxedCounter*> counters_;
+  std::map<std::string, std::function<std::uint64_t()>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mar

@@ -36,6 +36,15 @@ Rules (each with a stable id used in messages and suppressions):
                         tx layer (stage_record_*): a direct mutation
                         bypasses both commit atomicity and the segment-log
                         framing/checkpoint liveness accounting.
+  R8 registered-stat    Every RelaxedCounter field declared outside
+                        src/util/ is wired into the metrics registry
+                        (its name appears in a register_counter /
+                        register_gauge call somewhere in src/). An
+                        unregistered stat silently vanishes from the
+                        uniform metrics snapshot the benches and the
+                        flight recorder report. Intentionally private
+                        counters annotate
+                        `// mar-lint: unregistered-stat`.
 
 Usage:
   tools/mar_lint.py [--root REPO] [FILES...]   lint src/ (or FILES)
@@ -219,6 +228,49 @@ def check_record_scope(relpath, path, lines, findings):
                                     "liveness; stage via stage_record_*"))
 
 
+# --- R8: RelaxedCounter fields registered with the metrics registry --------
+
+COUNTER_FIELD_RE = re.compile(r"\bRelaxedCounter\s+(\w+)\s*;")
+REGISTER_CALL_RE = re.compile(
+    r"register_(?:counter|gauge)\s*\(([^;]*?)\)\s*;", re.DOTALL)
+COUNTER_EXEMPT_PREFIXES = ("src/util/",)
+
+
+def collect_registered_names(root):
+    """Every identifier appearing inside a register_counter/register_gauge
+    call, across all of src/ — the registered name string AND the field
+    expression both mention the counter's field name."""
+    names = set()
+    for p in iter_source_files(root, None):
+        for m in REGISTER_CALL_RE.finditer(p.read_text()):
+            names.update(re.findall(r"\w+", m.group(1)))
+    return names
+
+
+def check_stat_registered(root, findings):
+    registered = collect_registered_names(root)
+    for p in iter_source_files(root, None):
+        relpath = rel(root, p)
+        if relpath.startswith(COUNTER_EXEMPT_PREFIXES):
+            continue
+        lines = p.read_text().split("\n")
+        for i, line in enumerate(lines, 1):
+            m = COUNTER_FIELD_RE.search(strip_noise(line))
+            if not m:
+                continue
+            here_or_above = line + (lines[i - 2] if i >= 2 else "")
+            if "mar-lint: unregistered-stat" in here_or_above:
+                continue
+            if m.group(1) in registered:
+                continue
+            findings.append(Finding(relpath, i, "R8",
+                                    f"RelaxedCounter `{m.group(1)}` is never "
+                                    "registered with the metrics registry; "
+                                    "wire it through register_counter / "
+                                    "register_gauge (or annotate "
+                                    "`// mar-lint: unregistered-stat`)"))
+
+
 # --- R5: TraceKind members registered and uses valid -----------------------
 
 TRACE_ENUM_RE = re.compile(
@@ -284,6 +336,7 @@ def run_lint(root, explicit_files=None):
         check_record_scope(relpath, relpath, lines, findings)
     if not explicit_files:
         check_trace_registered(root, findings)
+        check_stat_registered(root, findings)
     return findings
 
 
@@ -328,6 +381,14 @@ void rogue_blocking_commit(std::condition_variable& cv,
   cv.wait(lk);
 }
 """,
+    "src/net/rogue_stats.h": """
+#include "util/counters.h"
+namespace mar::net {
+struct RogueStats {
+  RelaxedCounter frames_dropped;  // never registered anywhere
+};
+}
+""",
 }
 
 CLEAN = {
@@ -358,6 +419,20 @@ void good_flush_timer(mar::sim::Simulator& sim, mar::FlushHelper& helper) {
   (void)pending;
 }
 """,
+    "src/net/good_stats.h": """
+#include "util/counters.h"
+namespace mar::net {
+struct GoodStats {
+  RelaxedCounter frames_sent;
+  RelaxedCounter scratch_probe;  // mar-lint: unregistered-stat
+};
+}
+""",
+    "src/net/good_stats.cc": """
+void wire_metrics(mar::MetricsRegistry& m, mar::net::GoodStats& s) {
+  m.register_counter("net.frames_sent", &s.frames_sent);
+}
+""",
 }
 
 
@@ -377,14 +452,13 @@ def self_test():
 
         findings = run_lint(root)
         fired = {f.rule for f in findings}
-        expected = {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}
+        expected = {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
         ok = True
         for rule in sorted(expected):
             status = "fires" if rule in fired else "MISSED"
             print(f"self-test: {rule} {status}")
             ok &= rule in fired
-        false_pos = [f for f in findings
-                     if "good.cc" in str(f.path) or "good_timer" in str(f.path)]
+        false_pos = [f for f in findings if "good" in str(f.path)]
         for f in false_pos:
             print(f"self-test: FALSE POSITIVE {f}")
         ok &= not false_pos
